@@ -1,0 +1,70 @@
+// Command figures regenerates every table and figure from the paper's
+// evaluation section and writes them to stdout and (optionally) a results
+// directory.
+//
+// Usage:
+//
+//	figures [-only fig16,fig18] [-threads 64] [-scale 1] [-quick] [-out results/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"minnow"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated subset (e.g. fig16,table1); empty = all")
+		threads = flag.Int("threads", 64, "simulated core count")
+		scale   = flag.Int("scale", 0, "input scale multiplier (0 = suite default)")
+		seed    = flag.Uint64("seed", 42, "graph generator seed")
+		quick   = flag.Bool("quick", false, "trimmed sweeps (fast)")
+		out     = flag.String("out", "", "directory to also write per-figure .txt files")
+		csv     = flag.Bool("csv", false, "also write .csv files (requires -out)")
+	)
+	flag.Parse()
+
+	opts := minnow.FigureOptions{Threads: *threads, Scale: *scale, Seed: *seed, Quick: *quick}
+
+	names := minnow.Figures()
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		text, err := minnow.RenderFigure(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), text)
+		if *out != "" {
+			path := filepath.Join(*out, name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			if *csv {
+				if data, err := minnow.RenderFigureCSV(name, opts); err == nil {
+					if err := os.WriteFile(filepath.Join(*out, name+".csv"), []byte(data), 0o644); err != nil {
+						fmt.Fprintln(os.Stderr, "figures:", err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+	}
+}

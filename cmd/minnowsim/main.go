@@ -1,0 +1,100 @@
+// Command minnowsim runs a single benchmark on the simulated CMP and
+// prints its metrics.
+//
+// Usage:
+//
+//	minnowsim -bench SSSP -threads 16 -minnow -prefetch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minnow"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "SSSP", "benchmark: "+strings.Join(minnow.Benchmarks(), ", "))
+		threads  = flag.Int("threads", 8, "simulated core count")
+		scale    = flag.Int("scale", 1, "input scale multiplier")
+		seed     = flag.Uint64("seed", 42, "graph generator seed")
+		useMin   = flag.Bool("minnow", false, "offload the worklist to Minnow engines")
+		prefetch = flag.Bool("prefetch", false, "worklist-directed prefetching (needs -minnow)")
+		credits  = flag.Int("credits", 32, "prefetch credits")
+		sched    = flag.String("sched", "obim", "software scheduler: obim, fifo, lifo, strictpq")
+		hwpf     = flag.String("hwpf", "", "hardware prefetcher baseline: stride, imp")
+		split    = flag.Int("split", 0, "task-splitting threshold (0 = off)")
+		channels = flag.Int("channels", 12, "DRAM channels")
+		serial   = flag.Bool("serial", false, "serial baseline (atomics elided; forces 1 thread)")
+		budget   = flag.Int64("budget", 0, "work budget (0 = unlimited)")
+		traceN   = flag.Int("trace", 0, "print the last N Minnow engine events (needs -minnow)")
+		graphIn  = flag.String("graph", "", "run on a saved binary CSR graph (see graphgen -save)")
+		source   = flag.Int("source", 0, "source node for SSSP/BFS/G500 with -graph")
+	)
+	flag.Parse()
+
+	cfg := minnow.Config{
+		Threads:        *threads,
+		Scale:          *scale,
+		Seed:           *seed,
+		Minnow:         *useMin,
+		Prefetch:       *prefetch,
+		Credits:        *credits,
+		Scheduler:      *sched,
+		HWPrefetcher:   *hwpf,
+		SplitThreshold: int32(*split),
+		MemChannels:    *channels,
+		Serial:         *serial,
+		WorkBudget:     *budget,
+		TraceEvents:    *traceN,
+	}
+	if *serial {
+		cfg.Threads = 1
+	}
+	var res *minnow.Result
+	var err error
+	if *graphIn != "" {
+		f, ferr := os.Open(*graphIn)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", ferr)
+			os.Exit(1)
+		}
+		g, gerr := minnow.LoadGraph(f)
+		f.Close()
+		if gerr != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", gerr)
+			os.Exit(1)
+		}
+		fmt.Printf("input graph      %s (%d nodes, %d edges)\n", g.Name(), g.NumNodes(), g.NumEdges())
+		res, err = minnow.RunGraph(*bench, g, int32(*source), cfg)
+	} else {
+		res, err = minnow.Run(*bench, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minnowsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark        %s (verified against reference)\n", res.Benchmark)
+	fmt.Printf("threads          %d\n", res.Threads)
+	fmt.Printf("wall cycles      %d\n", res.WallCycles)
+	fmt.Printf("tasks executed   %d\n", res.Tasks)
+	fmt.Printf("instructions     %d\n", res.Instructions)
+	fmt.Printf("L2 demand MPKI   %.2f\n", res.L2MPKI)
+	fmt.Printf("delinquent dens. %.3f\n", res.DelinquentDensity)
+	fmt.Printf("cycle breakdown  useful %.2f | worklist %.2f | load-miss %.2f | store-miss %.2f\n",
+		res.Breakdown[0], res.Breakdown[1], res.Breakdown[2], res.Breakdown[3])
+	fmt.Printf("avg enq/deq cyc  %.1f / %.1f\n", res.AvgEnqueueCycles, res.AvgDequeueCycles)
+	if res.EnginePrefetches > 0 {
+		fmt.Printf("engine prefetch  %d loads, efficiency %.3f\n", res.EnginePrefetches, res.PrefetchEfficiency)
+	}
+	if res.TimedOut {
+		fmt.Println("NOTE: run exceeded its work budget (timed out)")
+	}
+	if res.TraceText != "" {
+		fmt.Println()
+		fmt.Print(res.TraceText)
+	}
+}

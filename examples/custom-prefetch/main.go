@@ -1,0 +1,67 @@
+// custom-prefetch shows the §5.3 extension hook: "if users require a
+// different graph access pattern, they can write a custom prefetch
+// function." Triangle counting binary-searches each destination node's
+// adjacency list, so the stock task→node→edges→dests program misses the
+// search footprint. The custom function below also walks the destination
+// lists, like the paper's hand-written TC helper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minnow"
+)
+
+// tcPrefetch emits, per task: the source node; then one threadlet per edge
+// covering the edge record, the destination node, and the first lines of
+// the destination's adjacency list (the binary-search footprint).
+func tcPrefetch(t minnow.Task, g minnow.GraphView, emit func(addrs ...uint64)) {
+	emit(g.NodeAddr(t.Node))
+	lo, hi := g.EdgeRange(t.Node)
+	for e := lo; e < hi; e++ {
+		dst := g.Dest(e)
+		addrs := []uint64{g.EdgeAddr(e), g.NodeAddr(dst)}
+		dlo, dhi := g.EdgeRange(dst)
+		// Up to three probe lines of the destination adjacency list.
+		span := dhi - dlo
+		for i := int32(0); i < 3 && i*16 < span; i++ {
+			addrs = append(addrs, g.EdgeAddr(dlo+span*i/3+span/6))
+		}
+		emit(addrs...)
+	}
+}
+
+func main() {
+	base := minnow.Config{Threads: 8, Scale: 1, Seed: 42, Minnow: true}
+
+	off, err := minnow.Run("TC", base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	std := base
+	std.Prefetch = true
+	stock, err := minnow.Run("TC", std)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	custom := std
+	custom.CustomPrefetch = tcPrefetch
+	mine, err := minnow.Run("TC", custom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Triangle counting with custom worklist-directed prefetching, 8 cores")
+	fmt.Println("(counts verified against an exact merge-intersection reference)")
+	fmt.Println()
+	row := func(name string, r *minnow.Result) {
+		fmt.Printf("%-26s %12d cycles   %5.2fx   MPKI %6.2f   efficiency %5.1f%%\n",
+			name, r.WallCycles, float64(off.WallCycles)/float64(r.WallCycles), r.L2MPKI, r.PrefetchEfficiency*100)
+	}
+	row("no prefetching", off)
+	row("built-in TC program", stock)
+	row("user prefetch function", mine)
+}

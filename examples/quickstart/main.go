@@ -1,0 +1,45 @@
+// Quickstart: run single-source shortest path on the simulated CMP three
+// ways — software worklist, Minnow offload, and Minnow offload plus
+// worklist-directed prefetching — and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minnow"
+)
+
+func main() {
+	const bench = "SSSP"
+	base := minnow.Config{Threads: 8, Scale: 1, Seed: 42}
+
+	software, err := minnow.Run(bench, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	offload := base
+	offload.Minnow = true
+	engines, err := minnow.Run(bench, offload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full := offload
+	full.Prefetch = true
+	prefetched, err := minnow.Run(bench, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %d simulated cores (results verified against Dijkstra)\n\n", bench, base.Threads)
+	row := func(name string, r *minnow.Result) {
+		fmt.Printf("%-22s %12d cycles   %6.2fx   L2 MPKI %6.2f   tasks %d\n",
+			name, r.WallCycles, float64(software.WallCycles)/float64(r.WallCycles), r.L2MPKI, r.Tasks)
+	}
+	row("software OBIM", software)
+	row("minnow offload", engines)
+	row("minnow + prefetching", prefetched)
+	fmt.Printf("\nprefetch efficiency with 32 credits: %.1f%%\n", prefetched.PrefetchEfficiency*100)
+}

@@ -1,0 +1,3 @@
+module minnow
+
+go 1.24

@@ -1,0 +1,105 @@
+package bpred
+
+import (
+	"testing"
+
+	"minnow/internal/rng"
+)
+
+// rate runs a branch stream and returns the misprediction rate over the
+// second half (after warmup).
+func rate(p *Predictor, outcomes func(i int) (pc uint64, taken bool), n int) float64 {
+	misp := 0
+	for i := 0; i < n; i++ {
+		pc, taken := outcomes(i)
+		m := p.Predict(pc, taken)
+		if i >= n/2 && m {
+			misp++
+		}
+	}
+	return float64(misp) / float64(n/2)
+}
+
+func TestAlwaysTaken(t *testing.T) {
+	p := New()
+	r := rate(p, func(i int) (uint64, bool) { return 0x40, true }, 2000)
+	if r > 0.01 {
+		t.Fatalf("always-taken mispredict rate %v", r)
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	// A strict T/N/T/N pattern is trivially history-predictable.
+	p := New()
+	r := rate(p, func(i int) (uint64, bool) { return 0x40, i%2 == 0 }, 4000)
+	if r > 0.05 {
+		t.Fatalf("alternating mispredict rate %v", r)
+	}
+}
+
+func TestShortLoop(t *testing.T) {
+	// taken 7 times, not-taken once (loop back-edge of an 8-iteration
+	// loop): TAGE should learn the period.
+	p := New()
+	r := rate(p, func(i int) (uint64, bool) { return 0x80, i%8 != 7 }, 8000)
+	if r > 0.08 {
+		t.Fatalf("loop mispredict rate %v", r)
+	}
+}
+
+func TestRandomIsHard(t *testing.T) {
+	rnd := rng.New(42)
+	outcomes := make([]bool, 20000)
+	for i := range outcomes {
+		outcomes[i] = rnd.Uint64()&1 == 0
+	}
+	p := New()
+	r := rate(p, func(i int) (uint64, bool) { return 0x100, outcomes[i] }, len(outcomes))
+	if r < 0.4 || r > 0.6 {
+		t.Fatalf("random-stream mispredict rate %v, want ~0.5", r)
+	}
+}
+
+func TestBiasedStream(t *testing.T) {
+	// 90% taken random stream: rate should approach 10%.
+	rnd := rng.New(7)
+	outcomes := make([]bool, 20000)
+	for i := range outcomes {
+		outcomes[i] = rnd.Float64() < 0.9
+	}
+	p := New()
+	r := rate(p, func(i int) (uint64, bool) { return 0x140, outcomes[i] }, len(outcomes))
+	if r > 0.15 {
+		t.Fatalf("biased-stream mispredict rate %v, want ~0.1", r)
+	}
+}
+
+func TestMultipleSites(t *testing.T) {
+	// Two sites with opposite fixed behaviour must not destructively
+	// alias.
+	p := New()
+	misp := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if p.Predict(0x200, true) && i > n/2 {
+			misp++
+		}
+		if p.Predict(0x204, false) && i > n/2 {
+			misp++
+		}
+	}
+	if f := float64(misp) / float64(n); f > 0.02 {
+		t.Fatalf("two-site mispredict rate %v", f)
+	}
+}
+
+func TestRateAccessor(t *testing.T) {
+	p := New()
+	if p.Rate() != 0 {
+		t.Fatal("fresh predictor has nonzero rate")
+	}
+	p.Predict(1, true)
+	if p.Lookups != 1 {
+		t.Fatalf("lookups %d", p.Lookups)
+	}
+}

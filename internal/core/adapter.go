@@ -1,0 +1,52 @@
+package core
+
+import (
+	"minnow/internal/galois"
+	"minnow/internal/stats"
+	"minnow/internal/worklist"
+)
+
+// MinnowScheduler adapts Minnow engines to the galois.Scheduler
+// interface: worker threads issue minnow_enqueue / minnow_dequeue
+// accelerator calls to their core's engine (Fig. 9 — workers call the
+// Galois API, which translates to Minnow accelerator calls). With engine
+// sharing, several cores route to the same engine.
+type MinnowScheduler struct {
+	byCore []*Engine // indexed by core ID
+}
+
+// NewMinnowScheduler builds the per-core routing table from a set of
+// engines (dedicated or shared).
+func NewMinnowScheduler(engines []*Engine, cores int) *MinnowScheduler {
+	m := &MinnowScheduler{byCore: make([]*Engine, cores)}
+	for _, e := range engines {
+		for _, c := range e.Cores() {
+			m.byCore[c] = e
+		}
+	}
+	return m
+}
+
+// EngineFor returns the engine serving a core.
+func (m *MinnowScheduler) EngineFor(core int) *Engine { return m.byCore[core] }
+
+// Push implements galois.Scheduler via minnow_enqueue.
+func (m *MinnowScheduler) Push(w *galois.Worker, t worklist.Task) {
+	e := m.byCore[w.Core.ID]
+	done := e.EnqueueFrom(w.Core.ID, t, w.Core.Now())
+	w.Core.Advance(done, stats.CatWorklist)
+}
+
+// Pop implements galois.Scheduler via minnow_dequeue.
+func (m *MinnowScheduler) Pop(w *galois.Worker) (worklist.Task, bool) {
+	e := m.byCore[w.Core.ID]
+	t, ready, ok := e.DequeueFrom(w.Core.ID, w.Core.Now())
+	w.Core.Advance(ready, stats.CatWorklist)
+	return t, ok
+}
+
+// Flush implements galois.Scheduler via minnow_flush.
+func (m *MinnowScheduler) Flush(w *galois.Worker) {
+	e := m.byCore[w.Core.ID]
+	e.Flush(w.Core.Now()) // flush runs on the engine; the core does not wait
+}

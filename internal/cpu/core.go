@@ -1,0 +1,323 @@
+// Package cpu models an out-of-order Skylake-like core at the level the
+// paper's experiments need: instruction windows (ROB / reservation station
+// / load queue / store queue) that bound memory-level parallelism, x86-TSO
+// fences at atomics, and branch-mispredict issue stalls resolved by a TAGE
+// predictor — the three mechanisms Fig. 4 sweeps.
+//
+// The model is interval-style: micro-ops issue in order at IssueWidth per
+// cycle, complete out of order (loads through the simulated memory
+// hierarchy), and retire in order through a ROB-sized ring. Retire-time
+// gaps are attributed to cycle categories for the Fig. 5 breakdown.
+package cpu
+
+import (
+	"minnow/internal/bpred"
+	"minnow/internal/mem"
+	"minnow/internal/sim"
+	"minnow/internal/stats"
+	"minnow/internal/uops"
+)
+
+// Config sets the core microarchitecture (Table 3 defaults via
+// DefaultConfig).
+type Config struct {
+	IssueWidth int
+	ROB        int
+	RS         int
+	LoadQueue  int
+	StoreQueue int
+	MispredPen sim.Time // pipeline refill after a mispredict
+	PerfectBP  bool     // Fig. 4 "ideal": no branch stalls
+	NoFences   bool     // Fig. 4 "ideal": atomics don't serialize
+}
+
+// DefaultConfig mirrors Table 3: 224-entry ROB, 97-entry unified RS,
+// 72-entry LQ, 56-entry SQ, 4-wide issue.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth: 4,
+		ROB:        224,
+		RS:         97,
+		LoadQueue:  72,
+		StoreQueue: 56,
+		MispredPen: 15,
+	}
+}
+
+// ScaledROB returns a config with the given ROB size and every buffer
+// scaled by the same ratio, as the Fig. 4 sweep prescribes ("each
+// configuration keeps the same buffer sizing ratio", normalized to
+// 256 ROB / 128 RS / 64 LQ / 64 SQ).
+func ScaledROB(rob int) Config {
+	c := DefaultConfig()
+	c.ROB = rob
+	c.RS = rob / 2
+	c.LoadQueue = rob / 4
+	c.StoreQueue = rob / 4
+	return c
+}
+
+// Prefetcher observes the core's demand-load stream (hardware prefetcher
+// baselines: stride, IMP). OnLoad is called for every load with its static
+// site, address, and issue time; the implementation issues its own
+// HWPrefetch accesses against the memory system.
+type Prefetcher interface {
+	OnLoad(pc, addr uint64, at sim.Time)
+}
+
+// Core is one simulated core. It is not an actor itself; the framework
+// worker that owns it drives it by calling Run.
+type Core struct {
+	ID   int
+	cfg  Config
+	mem  *mem.System
+	bp   *bpred.Predictor
+	Stat stats.CoreStats
+
+	// Prefetcher, when non-nil, snoops demand loads.
+	Prefetcher Prefetcher
+
+	now sim.Time
+
+	// In-order retire ring: retireAt[i%ROB] is the retire time of the
+	// i-th uop; head counts issued uops.
+	retireAt []sim.Time
+	seq      int64
+
+	// Sliding windows bounding in-flight ops.
+	loadDone  []sim.Time // completion times of the last LQ loads
+	loadSeq   int64
+	storeDone []sim.Time
+	storeSeq  int64
+	rsDone    []sim.Time // completion times of the last RS uops
+	rsSeq     int64
+
+	lastLoadDone sim.Time // completion of the most recent load (dependences)
+	fenceUntil   sim.Time // memory ops may not issue before this
+	issueFree    sim.Time // next cycle the front-end can issue
+
+	pendingMemDone sim.Time // max completion among in-flight mem ops
+}
+
+// New builds a core attached to the shared memory system.
+func New(id int, cfg Config, m *mem.System) *Core {
+	return &Core{
+		ID:        id,
+		cfg:       cfg,
+		mem:       m,
+		bp:        bpred.New(),
+		retireAt:  make([]sim.Time, cfg.ROB),
+		loadDone:  make([]sim.Time, cfg.LoadQueue),
+		storeDone: make([]sim.Time, cfg.StoreQueue),
+		rsDone:    make([]sim.Time, cfg.RS),
+	}
+}
+
+// Now returns the core's local clock.
+func (c *Core) Now() sim.Time { return c.now }
+
+// SetNow moves the local clock forward (e.g. after blocking on a Minnow
+// dequeue). Moving backwards is ignored.
+func (c *Core) SetNow(t sim.Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Mem exposes the shared memory system.
+func (c *Core) Mem() *mem.System { return c.mem }
+
+// windowSlot reserves a slot in a completion-time ring of the given
+// capacity: the new op may not issue before the op `cap` positions back
+// has completed.
+func windowSlot(ring []sim.Time, seq int64, issue sim.Time) sim.Time {
+	prev := ring[seq%int64(len(ring))]
+	if prev > issue {
+		issue = prev
+	}
+	return issue
+}
+
+// Run executes a micro-op batch starting at the core's local clock,
+// advancing it past the batch's retirement. All cycles consumed are
+// attributed to category cat (worklist operations pass CatWorklist;
+// operator bodies pass CatUseful, within which memory-stall cycles are
+// re-attributed to the load/store-miss categories).
+func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
+	// The front-end resumes no earlier than the batch's start time; it
+	// does NOT wait for prior retirement (only the ROB window does).
+	if c.issueFree < c.now {
+		c.issueFree = c.now
+	}
+	for i := range ops {
+		op := &ops[i]
+		// Front-end: in-order issue at IssueWidth ops/cycle.
+		issue := c.issueFree
+
+		// ROB: cannot issue until the op ROB-entries back has retired.
+		issue = windowSlot(c.retireAt, c.seq, issue)
+		// RS: bounded in-flight uncompleted uops.
+		issue = windowSlot(c.rsDone, c.rsSeq, issue)
+
+		var complete sim.Time
+		var stallCat stats.CycleCat = cat
+
+		switch op.Kind {
+		case uops.Compute:
+			n := int(op.N)
+			c.Stat.Instrs += int64(n)
+			groups := (n + c.cfg.IssueWidth - 1) / c.cfg.IssueWidth
+			complete = issue + sim.Time(groups)
+			c.issueFree = issue + sim.Time(groups)
+
+		case uops.Load:
+			c.Stat.Instrs++
+			c.Stat.Loads++
+			if op.Delinquent {
+				c.Stat.Delinquent++
+			}
+			issue = windowSlot(c.loadDone, c.loadSeq, issue)
+			if !c.cfg.NoFences && issue < c.fenceUntil {
+				issue = c.fenceUntil
+			}
+			if op.DepLoad && c.lastLoadDone > issue {
+				issue = c.lastLoadDone
+			}
+			res := c.mem.Access(c.ID, op.Addr, mem.Load, issue)
+			complete = res.Done
+			c.loadDone[c.loadSeq%int64(len(c.loadDone))] = complete
+			c.loadSeq++
+			c.lastLoadDone = complete
+			if c.Prefetcher != nil {
+				c.Prefetcher.OnLoad(op.PC, op.Addr, issue)
+			}
+			if cat == stats.CatUseful && res.Level >= 3 {
+				stallCat = stats.CatLoadMiss
+			}
+			c.issueFree = issue + 1
+
+		case uops.Store:
+			c.Stat.Instrs++
+			issue = windowSlot(c.storeDone, c.storeSeq, issue)
+			if !c.cfg.NoFences && issue < c.fenceUntil {
+				issue = c.fenceUntil
+			}
+			res := c.mem.Access(c.ID, op.Addr, mem.Store, issue)
+			complete = res.Done
+			c.storeDone[c.storeSeq%int64(len(c.storeDone))] = complete
+			c.storeSeq++
+			if cat == stats.CatUseful && res.Level >= 3 {
+				stallCat = stats.CatStoreMiss
+			}
+			c.issueFree = issue + 1
+
+		case uops.Atomic:
+			c.Stat.Instrs++
+			c.Stat.Atomics++
+			issue = windowSlot(c.storeDone, c.storeSeq, issue)
+			if !c.cfg.NoFences {
+				// x86-TSO: all prior loads and stores must have
+				// completed before the locked RMW executes.
+				if c.pendingMemDone > issue {
+					issue = c.pendingMemDone
+				}
+				if issue < c.fenceUntil {
+					issue = c.fenceUntil
+				}
+			}
+			res := c.mem.Access(c.ID, op.Addr, mem.Atomic, issue)
+			complete = res.Done
+			if !c.cfg.NoFences {
+				// Later memory ops wait for the RMW to complete.
+				c.fenceUntil = complete
+			}
+			c.storeDone[c.storeSeq%int64(len(c.storeDone))] = complete
+			c.storeSeq++
+			if cat == stats.CatUseful {
+				stallCat = stats.CatStoreMiss
+			}
+			c.issueFree = issue + 1
+
+		case uops.Branch:
+			c.Stat.Instrs++
+			c.Stat.Branches++
+			misp := c.bp.Predict(op.PC, op.Taken)
+			resolve := issue + 1
+			if op.DepBranch && c.lastLoadDone > resolve {
+				// The branch resolves only when its input load returns —
+				// the costly case §3.3 highlights.
+				resolve = c.lastLoadDone
+			}
+			complete = resolve
+			if misp && !c.cfg.PerfectBP {
+				c.Stat.Mispreds++
+				// No further issue until resolve + refill.
+				c.issueFree = resolve + c.cfg.MispredPen
+			} else {
+				c.issueFree = issue + 1
+			}
+		}
+
+		if complete < issue+1 {
+			complete = issue + 1
+		}
+		if op.Kind == uops.Load || op.Kind == uops.Store || op.Kind == uops.Atomic {
+			if complete > c.pendingMemDone {
+				c.pendingMemDone = complete
+			}
+		}
+
+		// RS slot frees at completion.
+		c.rsDone[c.rsSeq%int64(len(c.rsDone))] = complete
+		c.rsSeq++
+
+		// In-order retire.
+		prevRetire := c.retireAt[(c.seq+int64(len(c.retireAt))-1)%int64(len(c.retireAt))]
+		retire := complete
+		if prevRetire > retire {
+			retire = prevRetire
+		}
+		// Attribute the retire-time gap.
+		base := prevRetire
+		if c.now > base {
+			base = c.now
+		}
+		if retire > base {
+			gap := int64(retire - base)
+			// One issue-slot's worth of time is "useful" front-end
+			// progress; the remainder is stall attributed to the op.
+			c.Stat.Cycles[stallCat] += gap
+		}
+		c.retireAt[c.seq%int64(len(c.retireAt))] = retire
+		c.seq++
+		if retire > c.now {
+			c.now = retire
+		}
+	}
+}
+
+// RunTagged is Run plus per-op-kind counter deltas for worklist-operation
+// cost accounting (Fig. 11): it measures the cycles the batch consumed.
+func (c *Core) RunTagged(ops []uops.UOp, cat stats.CycleCat) sim.Time {
+	start := c.now
+	c.Run(ops, cat)
+	return c.now - start
+}
+
+// Advance idles the core until t, attributing the wait to cat (used for
+// blocking worklist dequeues and barriers).
+func (c *Core) Advance(t sim.Time, cat stats.CycleCat) {
+	if t > c.now {
+		c.Stat.Cycles[cat] += int64(t - c.now)
+		c.now = t
+		if c.issueFree < t {
+			c.issueFree = t
+		}
+	}
+}
+
+// Mispredicts exposes the predictor's mispredict count (tests).
+func (c *Core) Mispredicts() int64 { return c.bp.Mispredict }

@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderDedupAndSort(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2) // duplicate
+	b.AddEdge(0, 0) // self-loop
+	b.AddEdge(3, 1)
+	g := b.Build("test")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("degree(0) = %d, want 2 (dedup/self-loop)", g.Degree(0))
+	}
+	lo, hi := g.EdgeRange(0)
+	if g.Dests[lo] != 1 || g.Dests[hi-1] != 2 {
+		t.Fatalf("row not sorted: %v", g.Dests[lo:hi])
+	}
+	if g.Degree(1) != 0 || g.Degree(3) != 1 {
+		t.Fatal("other rows wrong")
+	}
+}
+
+func TestWeightsFollowEdges(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddWeighted(0, 2, 7)
+	b.AddWeighted(0, 1, 3)
+	g := b.Build("w")
+	lo, _ := g.EdgeRange(0)
+	if g.Dests[lo] != 1 || g.Weights[lo] != 3 {
+		t.Fatalf("weight misaligned: dest %d w %d", g.Dests[lo], g.Weights[lo])
+	}
+	if g.Dests[lo+1] != 2 || g.Weights[lo+1] != 7 {
+		t.Fatalf("weight misaligned: dest %d w %d", g.Dests[lo+1], g.Weights[lo+1])
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	// Path graph 0-1-2-3-4.
+	b := NewBuilder(5, false)
+	for i := int32(0); i < 4; i++ {
+		b.AddUndirected(i, i+1)
+	}
+	g := b.Build("path")
+	d := g.BFSFrom(0)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	if diam := g.EstimateDiameter(2); diam != 4 {
+		t.Fatalf("diameter %d, want 4", diam)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddUndirected(0, 1)
+	g := b.Build("disc")
+	d := g.BFSFrom(0)
+	if d[2] != -1 {
+		t.Fatalf("unreachable node dist %d", d[2])
+	}
+}
+
+func TestAddressLayout(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddUndirected(0, 1)
+	g := b.Build("addr")
+	as := NewAddrSpace()
+	g.Bind(as, false)
+	if g.NodeAddr(1)-g.NodeAddr(0) != NodeBytes {
+		t.Fatal("node stride wrong")
+	}
+	if g.EdgeAddr(1)-g.EdgeAddr(0) != EdgeBytes {
+		t.Fatal("edge stride wrong")
+	}
+	// TC layout uses 64B nodes.
+	g2 := b.Build("addr64")
+	g2.Bind(NewAddrSpace(), true)
+	if g2.NodeAddr(1)-g2.NodeAddr(0) != NodeBytesTC {
+		t.Fatal("TC node stride wrong")
+	}
+	// Regions must not overlap.
+	nEnd := g.NodeAddr(int32(g.N-1)) + NodeBytes
+	if g.EdgeAddr(0) < nEnd {
+		t.Fatal("edge region overlaps node region")
+	}
+}
+
+func TestAddrSpacePageAlignment(t *testing.T) {
+	as := NewAddrSpace()
+	a := as.Alloc(10)
+	b := as.Alloc(10)
+	if a%4096 != 0 || b%4096 != 0 {
+		t.Fatal("allocations not page aligned")
+	}
+	if b <= a {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestGeneratorsValidateAndAreDeterministic(t *testing.T) {
+	gens := map[string]func(seed uint64) *Graph{
+		"road":       func(s uint64) *Graph { return RoadMesh(400, s) },
+		"random":     func(s uint64) *Graph { return UniformRandom(500, 4, s) },
+		"kron":       func(s uint64) *Graph { return Kronecker(8, 8, s) },
+		"smallworld": func(s uint64) *Graph { return SmallWorld(500, 6, s) },
+		"talk":       func(s uint64) *Graph { return PowerLawTalk(600, s) },
+		"dblp":       func(s uint64) *Graph { return CommunityDBLP(300, s) },
+		"bipartite":  func(s uint64) *Graph { return Bipartite(300, 150, s) },
+	}
+	for name, gen := range gens {
+		g1 := gen(42)
+		if err := g1.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g1.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		g2 := gen(42)
+		if g1.NumEdges() != g2.NumEdges() || g1.N != g2.N {
+			t.Fatalf("%s: nondeterministic", name)
+		}
+		for i := range g1.Dests {
+			if g1.Dests[i] != g2.Dests[i] {
+				t.Fatalf("%s: edge %d differs between same-seed builds", name, i)
+			}
+		}
+	}
+}
+
+func TestRoadMeshClass(t *testing.T) {
+	g := RoadMesh(2500, 1)
+	// High diameter (≈ side length), low max degree.
+	if d := g.EstimateDiameter(0); d < 40 {
+		t.Fatalf("road diameter %d too low", d)
+	}
+	if _, deg := g.MaxDegreeNode(); deg > 10 {
+		t.Fatalf("road max degree %d too high", deg)
+	}
+	if g.Weights == nil {
+		t.Fatal("road mesh unweighted")
+	}
+	for _, w := range g.Weights[:100] {
+		if w < 1 || w > 1000 {
+			t.Fatalf("weight %d out of range", w)
+		}
+	}
+}
+
+func TestKroneckerHasHub(t *testing.T) {
+	g := Kronecker(10, 16, 1)
+	_, deg := g.MaxDegreeNode()
+	avg := float64(g.NumEdges()) / float64(g.N)
+	if float64(deg) < 10*avg {
+		t.Fatalf("kronecker hub degree %d vs avg %.1f: no skew", deg, avg)
+	}
+}
+
+func TestUniformRandomLowDiameter(t *testing.T) {
+	g := UniformRandom(2000, 4, 1)
+	if d := g.EstimateDiameter(0); d > 20 {
+		t.Fatalf("random graph diameter %d too high", d)
+	}
+}
+
+func TestBipartiteIsBipartite(t *testing.T) {
+	g := Bipartite(200, 100, 3)
+	// 2-color check: side of node = id < 200.
+	for v := int32(0); v < int32(g.N); v++ {
+		lo, hi := g.EdgeRange(v)
+		for e := lo; e < hi; e++ {
+			if (v < 200) == (g.Dests[e] < 200) {
+				t.Fatalf("edge %d-%d within one side", v, g.Dests[e])
+			}
+		}
+	}
+}
+
+func TestCommunityDBLPHasTriangles(t *testing.T) {
+	g := CommunityDBLP(200, 5)
+	// Community cliques guarantee triangles: count a few.
+	found := false
+	for u := int32(0); u < int32(g.N) && !found; u++ {
+		lo, hi := g.EdgeRange(u)
+		for i := lo; i < hi && !found; i++ {
+			v := g.Dests[i]
+			for j := i + 1; j < hi && !found; j++ {
+				w := g.Dests[j]
+				vlo, vhi := g.EdgeRange(v)
+				for e := vlo; e < vhi; e++ {
+					if g.Dests[e] == w {
+						found = true
+						break
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no triangles in dblp-like graph")
+	}
+}
+
+func TestUndirectedSymmetryProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		g := RoadMesh(100, seed)
+		// Every edge must have its reverse.
+		for u := int32(0); u < int32(g.N); u++ {
+			lo, hi := g.EdgeRange(u)
+			for e := lo; e < hi; e++ {
+				v := g.Dests[e]
+				rlo, rhi := g.EdgeRange(v)
+				ok := false
+				for r := rlo; r < rhi; r++ {
+					if g.Dests[r] == u {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDegreeNode(t *testing.T) {
+	b := NewBuilder(5, false)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 1)
+	g := b.Build("deg")
+	n, d := g.MaxDegreeNode()
+	if n != 2 || d != 3 {
+		t.Fatalf("max degree node %d deg %d", n, d)
+	}
+}

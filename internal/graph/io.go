@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary CSR serialization: a small versioned header followed by the
+// offsets, destinations, and optional weights as little-endian int32s.
+// The format lets generated inputs be cached on disk and shared between
+// tools (graphgen -save / minnowsim -graph).
+
+// magic identifies the file format ("MNWG" + version).
+var magic = [8]byte{'M', 'N', 'W', 'G', 0, 0, 0, 1}
+
+// Save writes the graph in binary CSR form.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	weighted := int32(0)
+	if g.Weights != nil {
+		weighted = 1
+	}
+	nameBytes := []byte(g.Name)
+	if len(nameBytes) > 255 {
+		nameBytes = nameBytes[:255]
+	}
+	hdr := []int32{int32(g.N), int32(len(g.Dests)), weighted, int32(len(nameBytes))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(nameBytes); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Dests); err != nil {
+		return err
+	}
+	if weighted == 1 {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph written by Save and validates it.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", m[:4])
+	}
+	var n, edges, weighted, nameLen int32
+	for _, p := range []*int32{&n, &edges, &weighted, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	if n < 0 || edges < 0 || nameLen < 0 || nameLen > 255 {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, edges)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("graph: reading name: %w", err)
+	}
+	g := &Graph{
+		Name:    string(name),
+		N:       int(n),
+		Offsets: make([]int32, n+1),
+		Dests:   make([]int32, edges),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Dests); err != nil {
+		return nil, fmt.Errorf("graph: reading dests: %w", err)
+	}
+	if weighted == 1 {
+		g.Weights = make([]int32, edges)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, fmt.Errorf("graph: reading weights: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

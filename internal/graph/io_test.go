@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := RoadMesh(400, 7)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name != g.Name || g2.N != g.N || len(g2.Dests) != len(g.Dests) {
+		t.Fatalf("shape mismatch: %s/%d/%d vs %s/%d/%d", g2.Name, g2.N, len(g2.Dests), g.Name, g.N, len(g.Dests))
+	}
+	for i := range g.Dests {
+		if g.Dests[i] != g2.Dests[i] || g.Weights[i] != g2.Weights[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range g.Offsets {
+		if g.Offsets[i] != g2.Offsets[i] {
+			t.Fatalf("offset %d differs", i)
+		}
+	}
+}
+
+func TestSaveLoadUnweighted(t *testing.T) {
+	g := UniformRandom(300, 4, 3)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Weights != nil {
+		t.Fatal("weights materialized for unweighted graph")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a graph file at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	g := UniformRandom(100, 4, 1)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}

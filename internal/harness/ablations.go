@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"fmt"
+
+	"minnow/internal/core"
+	"minnow/internal/stats"
+)
+
+// The ablation studies quantify the design choices the paper makes but
+// does not sweep: §6.2.1's task splitting and socket sharding, §5.2's
+// spill grouping and proactive refill, and §5.1's structure sizings
+// (local queue, load buffer). Each returns a table in the same format as
+// the figure functions and is reachable via `cmd/figures -only ablations`
+// or the corresponding benchmark.
+
+// AblationSplitting measures §6.2.1 task splitting on the hub-dominated
+// G500 input (the paper's Amdahl's-law argument: one 27%-of-edges node
+// caps unsplit speedup).
+func AblationSplitting(f FigOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: task splitting (G500's giant hub, §6.2.1)",
+		Headers: []string{"split-threshold", "wall-cycles", "speedup", "tasks"},
+	}
+	thresholds := []int32{0, 16384, 2048, 512}
+	var base int64
+	for _, thr := range thresholds {
+		o := f.base()
+		o.Scheduler = "minnow"
+		o.Prefetch = true
+		o.SplitThreshold = thr
+		r, err := runOrErr("G500", o)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = r.WallCycles
+		}
+		label := fmt.Sprintf("%d", thr)
+		if thr == 0 {
+			label = "off"
+		}
+		t.AddRow(label, r.WallCycles, float64(base)/float64(r.WallCycles), r.WorkItems)
+	}
+	return t, nil
+}
+
+// AblationSockets measures the §6.2.1 topology override: sharding the
+// global worklist over 1 vs 2 vs 8 socket groups.
+func AblationSockets(f FigOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: worklist socket sharding (topology override, §6.2.1)",
+		Headers: []string{"workload", "sockets-1", "sockets-2", "sockets-8"},
+	}
+	benches := []string{"SSSP", "CC"}
+	for _, name := range benches {
+		var walls []int64
+		for _, s := range []int{1, 2, 8} {
+			o := f.base()
+			o.Sockets = s
+			r, err := runOrErr(name, o)
+			if err != nil {
+				return nil, err
+			}
+			walls = append(walls, r.WallCycles)
+		}
+		t.AddRow(name,
+			1.0,
+			float64(walls[0])/float64(walls[1]),
+			float64(walls[0])/float64(walls[2]))
+	}
+	return t, nil
+}
+
+// AblationLocalQueue sweeps the Minnow local queue depth (§5.1 sizes it
+// at 64): shallow queues force constant fills; deep queues hold stale
+// priorities.
+func AblationLocalQueue(f FigOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: Minnow local queue depth (§5.1 default 64)",
+		Headers: []string{"depth", "sssp-cycles", "sssp-tasks", "cc-cycles", "cc-tasks"},
+	}
+	for _, depth := range []int{8, 16, 64, 256} {
+		row := []any{depth}
+		for _, name := range []string{"SSSP", "CC"} {
+			o := f.base()
+			o.Scheduler = "minnow"
+			o.Prefetch = true
+			o.EngineLocalQ = depth
+			r, err := runOrErr(name, o)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r.WallCycles, r.WorkItems)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationLoadBuffer sweeps the engine's CAM load buffer (§5.1 default
+// 32): it bounds the engine's memory-level parallelism and therefore how
+// far prefetching can run ahead.
+func AblationLoadBuffer(f FigOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: engine load buffer entries (§5.1 default 32)",
+		Headers: []string{"entries", "sssp-cycles", "speedup-vs-4", "mpki"},
+	}
+	var base int64
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		o := f.base()
+		o.Scheduler = "minnow"
+		o.Prefetch = true
+		o.EngineLoadBuf = n
+		r, err := runOrErr("SSSP", o)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = r.WallCycles
+		}
+		t.AddRow(n, r.WallCycles, float64(base)/float64(r.WallCycles), r.L2MPKI())
+	}
+	return t, nil
+}
+
+// AblationSpillBatch measures §5.2's operation grouping ("several memory
+// allocation and deallocation tasks may be grouped together"): spill
+// threadlets carrying 1 vs 16 tasks per lock acquisition.
+func AblationSpillBatch(f FigOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: spill grouping (§5.2; tasks per spill threadlet)",
+		Headers: []string{"batch", "cc-cycles", "speedup-vs-1"},
+	}
+	var base int64
+	for _, n := range []int{1, 4, 16, 64} {
+		o := f.base()
+		o.Scheduler = "minnow"
+		o.EngineSpillBatch = n
+		r, err := runOrErr("CC", o)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = r.WallCycles
+		}
+		t.AddRow(n, r.WallCycles, float64(base)/float64(r.WallCycles))
+	}
+	return t, nil
+}
+
+// AblationSharedEngines evaluates §4's unexplored variant: "cores may
+// share a single Minnow engine to reduce resources. This work focuses on
+// cores with dedicated Minnow engines." Sharing halves/quarters the
+// engine area but serializes the back-end across its cores.
+func AblationSharedEngines(f FigOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: cores per Minnow engine (§4: dedicated vs shared)",
+		Headers: []string{"cores/engine", "sssp-cycles", "slowdown", "area-mm2/core@14nm"},
+	}
+	var base int64
+	for _, share := range []int{1, 2, 4} {
+		o := f.base()
+		o.Scheduler = "minnow"
+		o.Prefetch = true
+		o.EngineSharing = share
+		r, err := runOrErr("SSSP", o)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = r.WallCycles
+		}
+		area := core.Area(core.DefaultConfig(), 256*1024/64).Total14nm / float64(share)
+		t.AddRow(share, r.WallCycles, float64(r.WallCycles)/float64(base), area)
+	}
+	return t, nil
+}
+
+// Ablations runs every ablation and concatenates the tables.
+func Ablations(f FigOptions) (string, error) {
+	fns := []func(FigOptions) (*stats.Table, error){
+		AblationSplitting,
+		AblationSockets,
+		AblationLocalQueue,
+		AblationLoadBuffer,
+		AblationSpillBatch,
+		AblationSharedEngines,
+	}
+	out := ""
+	for _, fn := range fns {
+		tb, err := fn(f)
+		if err != nil {
+			return out, err
+		}
+		out += tb.String() + "\n"
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// TestAllFiguresQuick exercises every figure function end-to-end in quick
+// mode at a small thread count — the integration test that guards the
+// whole experiment surface.
+func TestAllFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	f := QuickFigOptions()
+	f.Threads = 4
+	figs := map[string]func(FigOptions) (interface{ String() string }, error){
+		"table2": func(f FigOptions) (interface{ String() string }, error) { return Table2(f) },
+		"fig2":   func(f FigOptions) (interface{ String() string }, error) { return Fig2(f) },
+		"fig3":   func(f FigOptions) (interface{ String() string }, error) { return Fig3(f) },
+		"fig4":   func(f FigOptions) (interface{ String() string }, error) { return Fig4(f) },
+		"fig6":   func(f FigOptions) (interface{ String() string }, error) { return Fig6(f) },
+		"fig11":  func(f FigOptions) (interface{ String() string }, error) { return Fig11(f) },
+		"fig15":  func(f FigOptions) (interface{ String() string }, error) { return Fig15(f) },
+		"fig17":  func(f FigOptions) (interface{ String() string }, error) { return Fig17(f) },
+		"fig18":  func(f FigOptions) (interface{ String() string }, error) { return Fig18(f) },
+		"fig19":  func(f FigOptions) (interface{ String() string }, error) { return Fig19(f) },
+		"fig20":  func(f FigOptions) (interface{ String() string }, error) { return Fig20(f) },
+		"fig21":  func(f FigOptions) (interface{ String() string }, error) { return Fig21(f) },
+	}
+	for name, fn := range figs {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			tb, err := fn(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.String()) == 0 {
+				t.Fatal("empty output")
+			}
+		})
+	}
+}

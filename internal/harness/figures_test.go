@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"minnow/internal/kernels"
+)
+
+// tiny trims the quick options further for unit-test latency.
+func tiny() FigOptions {
+	f := QuickFigOptions()
+	f.Threads = 4
+	return f
+}
+
+func TestTable1Complete(t *testing.T) {
+	tb := Table1(tiny())
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	s := tb.String()
+	for _, name := range []string{"USA-road-d.W", "rmat16-2e22", "wiki-Talk"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("table1 missing %s:\n%s", name, s)
+		}
+	}
+}
+
+func TestTable3RendersConfig(t *testing.T) {
+	s := Table3(tiny()).String()
+	for _, frag := range []string{"TAGE", "8-way", "mesh", "localQ"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("table3 missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFig5BreakdownRows(t *testing.T) {
+	tb, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(tiny().benchNames()) {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+}
+
+func TestFig16MinnowWins(t *testing.T) {
+	tb, err := Fig16(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The geomean row's prefetch column must beat 1x (the paper's core
+	// claim in miniature).
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "geomean" {
+		t.Fatalf("missing geomean row: %v", last)
+	}
+	if !(parseF(t, last[2]) > 1.0) {
+		t.Fatalf("minnow+prefetch geomean %s not > 1", last[2])
+	}
+	if !(parseF(t, last[1]) > 1.0) {
+		t.Fatalf("minnow geomean %s not > 1", last[1])
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAreaTable(t *testing.T) {
+	s := AreaTable().String()
+	if !strings.Contains(s, "overhead") {
+		t.Fatalf("area table:\n%s", s)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	spec, _ := kernels.SpecByName("PR")
+	o := Options{Threads: 3, Seed: 5, Scheduler: "minnow", Prefetch: true}
+	a, err := Run(spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WallCycles != b.WallCycles || a.L2.Misses != b.L2.Misses {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.WallCycles, a.L2.Misses, b.WallCycles, b.L2.Misses)
+	}
+}
+
+func TestMinnowBeatsBaselineEverywhere(t *testing.T) {
+	// Regression guard on the headline claim at test scale: Minnow with
+	// prefetching must not lose to the software baseline on any
+	// benchmark.
+	for _, spec := range kernels.Suite() {
+		base, err := Run(spec, Options{Threads: 4, Seed: 42, SplitThreshold: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, err := Run(spec, Options{Threads: 4, Seed: 42, SplitThreshold: 2048, Scheduler: "minnow", Prefetch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mn.WallCycles >= base.WallCycles {
+			t.Errorf("%s: minnow (%d) not faster than baseline (%d)", spec.Name, mn.WallCycles, base.WallCycles)
+		}
+	}
+}
+
+func TestPrefetchReducesMPKI(t *testing.T) {
+	spec, _ := kernels.SpecByName("SSSP")
+	off, err := Run(spec, Options{Threads: 4, Seed: 42, Scheduler: "minnow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(spec, Options{Threads: 4, Seed: 42, Scheduler: "minnow", Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.L2MPKI() >= off.L2MPKI() {
+		t.Fatalf("prefetching raised MPKI: %.1f -> %.1f", off.L2MPKI(), on.L2MPKI())
+	}
+	if on.L2.Efficiency() < 0.5 {
+		t.Fatalf("prefetch efficiency %.2f too low", on.L2.Efficiency())
+	}
+}
+
+func TestMoreChannelsNeverHurt(t *testing.T) {
+	spec, _ := kernels.SpecByName("BFS")
+	o := Options{Threads: 4, Seed: 42, Scheduler: "minnow", Prefetch: true}
+	o.MemChannels = 1
+	narrow, err := Run(spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.MemChannels = 12
+	wide, err := Run(spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.WallCycles > narrow.WallCycles {
+		t.Fatalf("12 channels (%d) slower than 1 (%d)", wide.WallCycles, narrow.WallCycles)
+	}
+}
+
+func TestGraphMatRunners(t *testing.T) {
+	for _, bench := range []string{"SSSP", "BFS", "CC", "PR"} {
+		res, err := RunGraphMat(bench, Options{Threads: 4, Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if res.Wall == 0 || res.WorkItems == 0 {
+			t.Fatalf("%s: empty result %+v", bench, res)
+		}
+	}
+	if _, err := RunGraphMat("TC", Options{Threads: 2}); err == nil {
+		t.Fatal("graphmat TC should be unsupported")
+	}
+}
+
+func TestGMatStarRunner(t *testing.T) {
+	res, err := RunGMatStar(Options{Threads: 4, Seed: 42}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkItems == 0 {
+		t.Fatal("empty GMat* run")
+	}
+}
+
+func TestHWPrefetcherOptions(t *testing.T) {
+	spec, _ := kernels.SpecByName("PR")
+	for _, hw := range []string{"stride", "imp"} {
+		r, err := Run(spec, Options{Threads: 2, Seed: 42, HWPrefetcher: hw})
+		if err != nil {
+			t.Fatalf("%s: %v", hw, err)
+		}
+		if r.L2.PrefetchFills == 0 {
+			t.Fatalf("%s issued no prefetch fills", hw)
+		}
+	}
+}
+
+func TestUnknownScheduler(t *testing.T) {
+	spec, _ := kernels.SpecByName("BC")
+	if _, err := Run(spec, Options{Scheduler: "bogus"}); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+}

@@ -1,0 +1,394 @@
+// Package harness assembles full simulated systems (memory hierarchy,
+// cores, schedulers, Minnow engines) and runs benchmarks, producing the
+// statistics every figure and table of the paper is derived from.
+package harness
+
+import (
+	"fmt"
+
+	"minnow/internal/core"
+	"minnow/internal/cpu"
+	"minnow/internal/galois"
+	"minnow/internal/graph"
+	"minnow/internal/graphmat"
+	"minnow/internal/kernels"
+	"minnow/internal/mem"
+	"minnow/internal/prefetch"
+	"minnow/internal/sim"
+	"minnow/internal/stats"
+	"minnow/internal/trace"
+	"minnow/internal/worklist"
+)
+
+// Options configures one simulated run.
+type Options struct {
+	Threads int
+	Scale   int    // input scale multiplier (1 = laptop defaults)
+	Seed    uint64 // graph generator seed
+
+	// Scheduler selects the worklist policy: "obim", "fifo", "lifo",
+	// "strictpq", or "minnow".
+	Scheduler string
+	// LgInterval overrides the OBIM / Minnow bucket interval (log2) when
+	// LgIntervalSet is true; otherwise each kernel's tuned default is
+	// used.
+	LgInterval    uint
+	LgIntervalSet bool
+	Sockets       int // OBIM / Minnow global-worklist shards (0 = auto)
+
+	// Minnow engine settings (Scheduler == "minnow").
+	Prefetch bool // worklist-directed prefetching
+	Credits  int  // prefetch credits (0 = default 32)
+	// CustomPrefetch overrides the kernel's prefetch program (the §5.3
+	// "users can write a custom prefetch function" hook).
+	CustomPrefetch core.PrefetchProgram
+	// EngineSharing is how many cores share one Minnow engine (§4's
+	// resource-sharing variant; 0/1 = dedicated engines).
+	EngineSharing int
+	// EngineLocalQ / EngineLoadBuf / EngineSpillBatch override the §5.1
+	// structure sizes for the ablation studies (0 = defaults).
+	EngineLocalQ, EngineLoadBuf, EngineSpillBatch int
+
+	// HWPrefetcher attaches a baseline prefetcher to every core: "",
+	// "stride", or "imp".
+	HWPrefetcher string
+
+	SplitThreshold int32 // task splitting (0 = off)
+	WorkBudget     int64 // operator-application timeout (0 = none)
+	Serial         bool  // serial baseline: elide atomics
+
+	// CacheScale divides all cache capacities so scaled-down inputs
+	// remain DRAM-resident (0 = default 16; 1 = paper-size caches).
+	CacheScale  int
+	MemChannels int // DRAM channels (0 = default 12)
+
+	CoreCfg *cpu.Config // nil = Table-3 defaults
+
+	SkipVerify bool // skip result verification (sweeps that time out)
+
+	// MaxSteps bounds total simulation actor steps as a liveness guard
+	// (0 = a large default).
+	MaxSteps int64
+
+	// TraceEvents, when positive, records the last N Minnow engine
+	// events into Run.Trace (Scheduler "minnow" only).
+	TraceEvents int
+}
+
+// withDefaults fills zero values.
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scheduler == "" {
+		o.Scheduler = "obim"
+	}
+	if o.Sockets == 0 {
+		o.Sockets = (o.Threads + 7) / 8 // §6.2.1: 8 cores per socket
+	}
+	if o.Credits == 0 {
+		o.Credits = 32
+	}
+	if o.CacheScale == 0 {
+		o.CacheScale = 16
+	}
+	if o.MemChannels == 0 {
+		o.MemChannels = 12
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 2_000_000_000
+	}
+	return o
+}
+
+// Run executes one benchmark under the given options and returns its
+// statistics. The result is verified against the kernel's reference
+// implementation unless SkipVerify is set or the run timed out.
+func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
+	o = o.withDefaults()
+
+	as := graph.NewAddrSpace()
+	kern := spec.Build(o.Scale, o.Seed, as, o.Threads)
+	if !o.LgIntervalSet {
+		o.LgInterval = kern.DefaultLgInterval()
+	}
+
+	msys := buildMem(o)
+	cores := buildCores(o, msys)
+
+	// Scheduler.
+	var sched galois.Scheduler
+	var engines []*core.Engine
+	switch o.Scheduler {
+	case "minnow":
+		gwl := core.NewGlobalWL(as, o.Threads, o.Sockets)
+		ecfg := core.DefaultConfig()
+		ecfg.LgInterval = o.LgInterval
+		ecfg.Credits = o.Credits
+		ecfg.Prefetch = o.Prefetch
+		if o.EngineLocalQ > 0 {
+			ecfg.LocalQ = o.EngineLocalQ
+		}
+		if o.EngineLoadBuf > 0 {
+			ecfg.LoadBuf = o.EngineLoadBuf
+		}
+		if o.EngineSpillBatch > 0 {
+			ecfg.SpillBatch = o.EngineSpillBatch
+		}
+		if o.Prefetch {
+			ecfg.Program = kern.PrefetchProgram()
+			if o.CustomPrefetch != nil {
+				ecfg.Program = o.CustomPrefetch
+			}
+		}
+		share := o.EngineSharing
+		if share < 1 {
+			share = 1
+		}
+		for lo := 0; lo < o.Threads; lo += share {
+			hi := lo + share
+			if hi > o.Threads {
+				hi = o.Threads
+			}
+			group := make([]int, 0, hi-lo)
+			for c := lo; c < hi; c++ {
+				group = append(group, c)
+			}
+			engines = append(engines, core.NewSharedEngine(group, ecfg, msys, gwl))
+		}
+		if o.TraceEvents > 0 {
+			buf := trace.New(o.TraceEvents)
+			for _, e := range engines {
+				e.Trace = buf
+			}
+		}
+		ms := core.NewMinnowScheduler(engines, o.Threads)
+		msys.OnCredit = func(c int, used bool) { ms.EngineFor(c).CreditReturn(used) }
+		sched = ms
+	case "obim":
+		sched = &galois.SWScheduler{WL: worklist.NewOBIM(as, o.Threads, o.Sockets, o.LgInterval)}
+	case "fifo":
+		sched = &galois.SWScheduler{WL: worklist.NewFIFO(as, o.Threads)}
+	case "lifo":
+		sched = &galois.SWScheduler{WL: worklist.NewLIFO(as, o.Threads)}
+	case "strictpq":
+		sched = &galois.SWScheduler{WL: worklist.NewStrictPQ(as)}
+	default:
+		return nil, fmt.Errorf("harness: unknown scheduler %q", o.Scheduler)
+	}
+
+	attachHWPrefetchers(o, cores, msys, kern.Graph())
+
+	cfg := galois.Config{
+		Threads:        o.Threads,
+		SplitThreshold: o.SplitThreshold,
+		WorkBudget:     o.WorkBudget,
+		Serial:         o.Serial,
+	}
+	runner := galois.NewRunner(cfg, cores, sched, kern, kern.Graph().Degree)
+
+	// Simulation: workers and engines are actors.
+	eng := sim.NewEngine()
+	for _, w := range runner.Workers() {
+		id := eng.Register(w)
+		eng.Wake(id, 0)
+	}
+	for _, e := range engines {
+		id := eng.Register(e)
+		e.SetWake(func(at sim.Time) { eng.Wake(id, at) })
+	}
+
+	runner.Seed(kern.InitialTasks())
+
+	_, drained := eng.Run(o.MaxSteps)
+	if !drained && !runner.TimedOut() {
+		return nil, fmt.Errorf("harness: %s/%s exceeded %d simulation steps (livelock?)",
+			spec.Name, o.Scheduler, o.MaxSteps)
+	}
+
+	run := collect(spec.Name, o, cores, engines, msys, runner)
+	if len(engines) > 0 {
+		run.Trace = engines[0].Trace
+	}
+
+	if !o.SkipVerify && !run.TimedOut {
+		if err := kern.Verify(); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s verification failed: %w", spec.Name, o.Scheduler, err)
+		}
+	}
+	return run, nil
+}
+
+// collect assembles the stats.Run from all components.
+func collect(name string, o Options, cores []*cpu.Core, engines []*core.Engine, msys *mem.System, runner *galois.Runner) *stats.Run {
+	run := &stats.Run{
+		Name:      name,
+		Threads:   o.Threads,
+		TimedOut:  runner.TimedOut(),
+		WorkItems: runner.Applied(),
+		DRAMReads: msys.DRAMReads,
+		InvMsgs:   msys.InvMsgs,
+		DRAMStall: msys.DRAM.StallCyc,
+		NoCStall:  msys.Mesh.StallCyc,
+
+		WastePFEvict:     msys.WastePFEvict,
+		WasteDemandEvict: msys.WasteDemandEvict,
+		WasteInval:       msys.WasteInval,
+		L1Shielded:       msys.L1ShieldedHits,
+	}
+	for _, c := range cores {
+		run.Cores = append(run.Cores, c.Stat)
+		if c.Now() > sim.Time(run.WallCycles) {
+			run.WallCycles = int64(c.Now())
+		}
+	}
+	l2 := msys.L2Counters()
+	run.L2 = stats.CacheStats{
+		Accesses:      msys.DemandL2Accesses,
+		Misses:        msys.DemandL2Misses,
+		Evictions:     l2.Evictions,
+		PrefetchFills: l2.PrefetchFills,
+		PrefetchUsed:  l2.PrefetchUsed,
+		PrefetchWaste: l2.PrefetchWaste,
+	}
+	l3 := msys.L3Counters()
+	run.L3 = stats.CacheStats{Accesses: l3.Accesses, Misses: l3.Misses, Evictions: l3.Evictions}
+	if msys.DemandCount > 0 {
+		run.AvgLoadLat = float64(msys.DemandLatencySum) / float64(msys.DemandCount)
+	}
+	run.DirtyRemote = msys.DirtyRemote
+	run.LatByLevel = msys.LatByLevel
+	run.CntByLevel = msys.CntByLevel
+	for _, e := range engines {
+		e.Stat.ClockEnd = int64(e.Clock())
+		run.Engines = append(run.Engines, e.Stat)
+	}
+	return run
+}
+
+func buildMem(o Options) *mem.System {
+	mcfg := mem.DefaultConfig(o.Threads)
+	if o.CacheScale > 1 {
+		mcfg.ScaleCaches(o.CacheScale)
+	}
+	mcfg.DRAM.Channels = o.MemChannels
+	return mem.NewSystem(mcfg)
+}
+
+func buildCores(o Options, msys *mem.System) []*cpu.Core {
+	ccfg := cpu.DefaultConfig()
+	if o.CoreCfg != nil {
+		ccfg = *o.CoreCfg
+	}
+	cores := make([]*cpu.Core, o.Threads)
+	for i := range cores {
+		cores[i] = cpu.New(i, ccfg, msys)
+	}
+	return cores
+}
+
+// attachHWPrefetchers wires stride/IMP baselines to the cores.
+func attachHWPrefetchers(o Options, cores []*cpu.Core, msys *mem.System, g *graph.Graph) {
+	switch o.HWPrefetcher {
+	case "stride":
+		for i, c := range cores {
+			c.Prefetcher = prefetch.NewStride(i, msys, 4)
+		}
+	case "imp":
+		resolve := csrResolve(g)
+		for i, c := range cores {
+			c.Prefetcher = prefetch.NewIMP(i, msys, 4, resolve)
+		}
+	}
+}
+
+// csrResolve maps an edge-record address to the destination node address —
+// the A[B[i]] semantics IMP reads out of the cached index value.
+func csrResolve(g *graph.Graph) func(uint64) (uint64, bool) {
+	base := g.EdgeAddr(0)
+	limit := base + uint64(g.NumEdges())*graph.EdgeBytes
+	return func(addr uint64) (uint64, bool) {
+		if addr < base || addr >= limit {
+			return 0, false
+		}
+		idx := int32((addr - base) / graph.EdgeBytes)
+		return g.NodeAddr(g.Dests[idx]), true
+	}
+}
+
+// RunGraphMat executes a workload under the GraphMat-like BSP baseline and
+// returns its result (wall cycles for Fig. 2/3 normalization).
+func RunGraphMat(bench string, o Options) (graphmat.Result, error) {
+	o = o.withDefaults()
+	as := graph.NewAddrSpace()
+	spec, err := kernels.SpecByName(bench)
+	if err != nil {
+		return graphmat.Result{}, err
+	}
+	kern := spec.Build(o.Scale, o.Seed, as, o.Threads)
+	g := kern.Graph()
+	msys := buildMem(o)
+	cores := buildCores(o, msys)
+	// GraphMat's sequential frontier sweeps benefit from its tuned
+	// streaming: attach the stride prefetcher (standing in for its
+	// software prefetch + the host's L2 streamer).
+	for i, c := range cores {
+		c.Prefetcher = prefetch.NewStride(i, msys, 4)
+	}
+
+	var prog graphmat.Program
+	switch bench {
+	case "SSSP":
+		prog = graphmat.NewSSSP(g, 0)
+	case "BFS":
+		prog = graphmat.NewBFS(g, 0)
+	case "G500":
+		n, _ := g.MaxDegreeNode()
+		prog = graphmat.NewBFS(g, n)
+	case "CC":
+		prog = graphmat.NewCC(g)
+	case "PR":
+		prog = graphmat.NewPR(g, kernels.PRDamping, 1e-3)
+	default:
+		return graphmat.Result{}, fmt.Errorf("harness: no GraphMat program for %q", bench)
+	}
+	r := graphmat.Runner{G: g, Cores: cores, Prog: prog, Budget: o.WorkBudget}
+	res := r.Run()
+	if !o.SkipVerify && !res.TimedOut {
+		if err := prog.Verify(); err != nil {
+			return res, fmt.Errorf("harness: graphmat %s verification failed: %w", bench, err)
+		}
+	}
+	return res, nil
+}
+
+// RunGMatStar executes the GMat* bucketed delta-stepping SSSP (§3.1).
+func RunGMatStar(o Options, lgInterval uint) (graphmat.Result, error) {
+	o = o.withDefaults()
+	as := graph.NewAddrSpace()
+	spec, err := kernels.SpecByName("SSSP")
+	if err != nil {
+		return graphmat.Result{}, err
+	}
+	kern := spec.Build(o.Scale, o.Seed, as, o.Threads)
+	g := kern.Graph()
+	msys := buildMem(o)
+	cores := buildCores(o, msys)
+	for i, c := range cores {
+		c.Prefetcher = prefetch.NewStride(i, msys, 4)
+	}
+	k := graphmat.NewGMatStar(g, 0, lgInterval)
+	res := k.Run(cores, o.WorkBudget)
+	if !o.SkipVerify && !res.TimedOut {
+		if err := k.Verify(); err != nil {
+			return res, fmt.Errorf("harness: gmat* verification failed: %w", err)
+		}
+	}
+	return res, nil
+}

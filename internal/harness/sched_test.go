@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"testing"
+
+	"minnow/internal/kernels"
+)
+
+// TestSchedulerPolicies runs every scheduling policy on SSSP and BFS with a
+// work budget, mirroring the Fig. 3 experiment: priority-insensitive
+// policies (FIFO, LIFO) may time out; OBIM and strict-PQ must converge.
+func TestSchedulerPolicies(t *testing.T) {
+	for _, bench := range []string{"SSSP", "BFS"} {
+		spec, _ := kernels.SpecByName(bench)
+		for _, sched := range []string{"obim", "fifo", "lifo", "strictpq", "minnow"} {
+			o := small(4)
+			o.Scheduler = sched
+			o.WorkBudget = 3_000_000
+			o.SkipVerify = false
+			r, err := Run(spec, o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, sched, err)
+			}
+			t.Logf("%s/%-8s: wall=%d tasks=%d timedOut=%v", bench, sched, r.WallCycles, r.WorkItems, r.TimedOut)
+		}
+	}
+}

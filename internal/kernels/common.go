@@ -1,0 +1,152 @@
+// Package kernels implements the paper's seven benchmarks (Table 2) as
+// Galois operators: SSSP (delta-stepping), BFS, G500 (BFS on a Kronecker
+// graph), CC (minimum-label propagation), PR (push-based data-driven
+// PageRank), TC (node-iterator-hashed triangle counting), and BC
+// (bipartite coloring).
+//
+// Each operator really executes its algorithm over Go state — so
+// convergence, work efficiency, and priority sensitivity are genuine —
+// while emitting the micro-ops a compiled implementation would: first
+// accesses to task/node/edge data are delinquent loads, everything else
+// (loop bookkeeping, stack spills/fills, secondary field reads — the ~90%
+// of loads §3.4 measures) is non-delinquent traffic against the worker's
+// stack lines. Every kernel verifies its answer against an independent
+// reference implementation.
+package kernels
+
+import (
+	"minnow/internal/core"
+	"minnow/internal/galois"
+	"minnow/internal/graph"
+	"minnow/internal/worklist"
+)
+
+// Kernel is one benchmark: construction binds addresses; Apply is the
+// Galois operator; Verify checks the parallel result against a reference.
+type Kernel interface {
+	galois.Operator
+	Name() string
+	Graph() *graph.Graph
+	// InitialTasks seeds the worklist.
+	InitialTasks() []worklist.Task
+	// Reset reinitializes algorithm state for a fresh run.
+	Reset()
+	// Verify checks the computed result; call after the run drains.
+	Verify() error
+	// PrefetchProgram returns the worklist-directed prefetch program for
+	// this kernel's access pattern (§5.3: all workloads share the
+	// standard program except TC).
+	PrefetchProgram() core.PrefetchProgram
+	// UsesPriority reports whether the kernel benefits from priority
+	// scheduling (TC and BC do not, §6.1).
+	UsesPriority() bool
+	// DefaultLgInterval is the kernel's tuned OBIM bucket interval
+	// (log2): the delta in delta-stepping terms, scaled to the kernel's
+	// priority units.
+	DefaultLgInterval() uint
+}
+
+// stackLines is how many distinct stack cache lines each worker's locals
+// rotate through.
+const stackLines = 4
+
+// emitter wraps a worker with address-aware micro-op helpers.
+type emitter struct {
+	w     *galois.Worker
+	g     *graph.Graph
+	stack uint64 // worker stack base
+	pcb   uint64 // kernel PC namespace (load sites for prefetcher training)
+	srot  int    // rotates stack-line usage
+}
+
+func newEmitter(w *galois.Worker, g *graph.Graph, stackBase []uint64, pcb uint64) emitter {
+	return emitter{w: w, g: g, stack: stackBase[w.Core.ID], pcb: pcb}
+}
+
+// Load-site PC offsets within a kernel's namespace (branch sites use 1..63).
+const (
+	pcLoadEdge   = 0x41 // streaming edge-record loads (IMP's index array)
+	pcLoadDest   = 0x42 // edge-dependent destination-node loads (A[B[i]])
+	pcLoadSrc    = 0x43 // the task's own node record
+	pcLoadSearch = 0x44 // binary-search probes (TC)
+)
+
+// locals emits the non-delinquent register-spill/stack traffic of loop
+// bookkeeping: nLoads reads and nStores writes over the worker's stack
+// lines, plus nCompute ALU ops.
+func (e *emitter) locals(nLoads, nStores, nCompute int) {
+	tr := e.w.TR()
+	for i := 0; i < nLoads; i++ {
+		e.srot++
+		tr.Load(e.stack+uint64(e.srot%stackLines)*64, false, false)
+	}
+	for i := 0; i < nStores; i++ {
+		e.srot++
+		tr.Store(e.stack + uint64(e.srot%stackLines)*64)
+	}
+	if nCompute > 0 {
+		tr.Compute(nCompute)
+	}
+}
+
+// loadNode emits the (delinquent) first access to a node record.
+func (e *emitter) loadNode(v int32, depLoad bool) {
+	site := uint64(pcLoadSrc)
+	if depLoad {
+		site = pcLoadDest
+	}
+	e.w.TR().LoadPC(e.pcb+site, e.g.NodeAddr(v), true, depLoad)
+}
+
+// touchNode emits a secondary (non-delinquent) access to a node record.
+func (e *emitter) touchNode(v int32) {
+	e.w.TR().Load(e.g.NodeAddr(v), false, false)
+}
+
+// loadEdge emits the (delinquent) first access to an edge record.
+func (e *emitter) loadEdge(i int32) {
+	e.w.TR().LoadPC(e.pcb+pcLoadEdge, e.g.EdgeAddr(i), true, false)
+}
+
+// storeNode emits a plain store to a node record.
+func (e *emitter) storeNode(v int32) {
+	e.w.TR().Store(e.g.NodeAddr(v))
+}
+
+// atomicNode emits a read-modify-write on a node record (or a plain
+// store under the serial-baseline's atomic elision).
+func (e *emitter) atomicNode(v int32) {
+	if e.w.Ctx.Serial {
+		e.w.TR().Load(e.g.NodeAddr(v), false, false)
+		e.w.TR().Store(e.g.NodeAddr(v))
+	} else {
+		e.w.TR().Atomic(e.g.NodeAddr(v))
+	}
+}
+
+// branch emits a data-dependent conditional branch.
+func (e *emitter) branch(pc uint64, taken, depLoad bool) {
+	e.w.TR().Branch(pc, taken, depLoad)
+}
+
+// allocStacks reserves per-core stack regions.
+func allocStacks(as *graph.AddrSpace, cores int) []uint64 {
+	s := make([]uint64, cores)
+	for i := range s {
+		s[i] = as.Alloc(stackLines * 64)
+	}
+	return s
+}
+
+// taskRange resolves a task's edge range, honoring task splitting.
+func taskRange(g *graph.Graph, t worklist.Task) (lo, hi int32) {
+	lo, hi = g.EdgeRange(t.Node)
+	if !t.WholeNode() {
+		base := g.Offsets[t.Node]
+		lo, hi = base+t.EdgeLo, base+t.EdgeHi
+	}
+	return
+}
+
+// pcBase assigns each kernel a distinct branch-site PC namespace.
+func pcBase(kernelID uint64) uint64 { return kernelID << 8 }

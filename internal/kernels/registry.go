@@ -1,0 +1,134 @@
+package kernels
+
+import (
+	"fmt"
+
+	"minnow/internal/graph"
+)
+
+// Spec declares one Table-2 benchmark: its kernel, its Table-1 input
+// class, and the paper-equivalent input name.
+type Spec struct {
+	Name       string // SSSP, BFS, G500, CC, PR, TC, BC
+	PaperInput string // the Table-1 input this stands in for
+	// Build generates the (scaled) input graph and kernel. cores sizes
+	// per-core stack regions.
+	Build func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel
+}
+
+// Suite returns the seven Table-2 benchmarks. scale multiplies the
+// default (laptop-sized) inputs; scale=1 gives graphs of roughly
+// 4K-60K nodes, chosen so that with the harness's scaled-down cache
+// hierarchy each input is DRAM-resident the way the paper's 150MB-1GB
+// inputs were — except TC's, which fits in the LLC as in the paper
+// ("a small input had to be selected for TC ... fitting within LLC").
+func Suite() []Spec {
+	return []Spec{
+		{
+			Name:       "SSSP",
+			PaperInput: "USA-road-d.W",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				g := graph.RoadMesh(22500*scale, seed)
+				g.Bind(as, false)
+				return NewSSSP(g, 0, as, cores)
+			},
+		},
+		{
+			Name:       "BFS",
+			PaperInput: "r4-2e23",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				g := graph.UniformRandom(24576*scale, 4, seed)
+				g.Bind(as, false)
+				return NewBFS("BFS", g, 0, as, cores)
+			},
+		},
+		{
+			Name:       "G500",
+			PaperInput: "rmat16-2e22",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				s := 13
+				for sc := scale; sc > 1; sc /= 2 {
+					s++
+				}
+				g := graph.Kronecker(s, 16, seed)
+				g.Bind(as, false)
+				return NewBFS("G500", g, kroneckerRoot(g), as, cores)
+			},
+		},
+		{
+			Name:       "CC",
+			PaperInput: "wikipedia-20051105",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				g := graph.SmallWorld(12288*scale, 6, seed)
+				g.Bind(as, false)
+				return NewCC(g, as, cores)
+			},
+		},
+		{
+			Name:       "PR",
+			PaperInput: "wiki-Talk",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				g := graph.PowerLawTalk(16384*scale, seed)
+				g.Bind(as, false)
+				return NewPR(g, as, cores)
+			},
+		},
+		{
+			Name:       "TC",
+			PaperInput: "com-dblp-sym",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				g := graph.CommunityDBLP(3072*scale, seed)
+				g.Bind(as, true)
+				return NewTC(g, as, cores)
+			},
+		},
+		{
+			Name:       "BC",
+			PaperInput: "amazon-ratings",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				g := graph.Bipartite(10240*scale, 5120*scale, seed)
+				g.Bind(as, false)
+				return NewBC(g, as, cores)
+			},
+		},
+	}
+}
+
+// Extensions returns workloads beyond the paper's Table 2 — the §8
+// future-work direction of running other irregular-algorithm classes on
+// the same engines.
+func Extensions() []Spec {
+	return []Spec{
+		{
+			Name:       "KCORE",
+			PaperInput: "(extension: k-core decomposition)",
+			Build: func(scale int, seed uint64, as *graph.AddrSpace, cores int) Kernel {
+				g := graph.SmallWorld(10240*scale, 8, seed)
+				g.Bind(as, false)
+				return NewKCore(g, as, cores)
+			},
+		},
+	}
+}
+
+// SpecByName finds a suite or extension entry.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range Extensions() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("kernels: unknown benchmark %q", name)
+}
+
+// kroneckerRoot picks a BFS source in the Kronecker graph's giant
+// component: the highest-degree node (the hub is always in it).
+func kroneckerRoot(g *graph.Graph) int32 {
+	n, _ := g.MaxDegreeNode()
+	return n
+}

@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"minnow/internal/rng"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := NewCache(64, 4)
+	if hit, _, _ := c.Lookup(5, false, true); hit {
+		t.Fatal("cold lookup hit")
+	}
+	c.Fill(5, false, false, 0)
+	if hit, _, _ := c.Lookup(5, false, true); !hit {
+		t.Fatal("filled line missed")
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Misses != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(8, 4) // 2 sets, 4 ways
+	// Fill one set (even lines map to set 0) past capacity.
+	for line := uint64(0); line < 8; line += 2 {
+		c.Fill(line, false, false, 0)
+	}
+	// Touch line 0 to refresh it, then insert another even line.
+	c.Lookup(0, false, true)
+	ev := c.Fill(8, false, false, 0)
+	if !ev.Valid {
+		t.Fatal("full set evicted nothing")
+	}
+	if ev.Line == 0 {
+		t.Fatal("evicted the most recently used line")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := NewCache(4, 4)
+	c.Fill(1, true, false, 0)
+	for l := uint64(2); l <= 5; l++ {
+		c.Fill(l, false, false, 0)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks %d", c.Stats.Writebacks)
+	}
+}
+
+func TestPrefetchBitLifecycle(t *testing.T) {
+	c := NewCache(16, 4)
+	c.Fill(7, false, true, 0)
+	if c.Stats.PrefetchFills != 1 {
+		t.Fatal("prefetch fill not counted")
+	}
+	// Non-demand probe leaves the bit.
+	if _, wasPF, _ := c.Lookup(7, false, false); wasPF {
+		t.Fatal("non-demand lookup consumed the bit")
+	}
+	if !c.ProbePrefetch(7) {
+		t.Fatal("bit gone after probe")
+	}
+	// Demand hit clears it exactly once.
+	if _, wasPF, _ := c.Lookup(7, false, true); !wasPF {
+		t.Fatal("demand hit did not report prefetch")
+	}
+	if _, wasPF, _ := c.Lookup(7, false, true); wasPF {
+		t.Fatal("bit reported twice")
+	}
+	if c.Stats.PrefetchUsed != 1 {
+		t.Fatalf("used %d", c.Stats.PrefetchUsed)
+	}
+}
+
+func TestPrefetchWasteOnEviction(t *testing.T) {
+	c := NewCache(4, 4)
+	c.Fill(0, false, true, 0)
+	for l := uint64(1); l <= 4; l++ {
+		c.Fill(l, false, false, 0)
+	}
+	if c.Stats.PrefetchWaste != 1 {
+		t.Fatalf("waste %d", c.Stats.PrefetchWaste)
+	}
+}
+
+func TestMarkPrefetch(t *testing.T) {
+	c := NewCache(16, 4)
+	if c.MarkPrefetch(3) {
+		t.Fatal("marked a missing line")
+	}
+	c.Fill(3, false, false, 0)
+	if !c.MarkPrefetch(3) {
+		t.Fatal("failed to mark resident line")
+	}
+	if c.MarkPrefetch(3) {
+		t.Fatal("double mark consumed a second credit")
+	}
+}
+
+func TestClearPrefetch(t *testing.T) {
+	c := NewCache(16, 4)
+	c.Fill(9, false, true, 0)
+	if !c.ClearPrefetch(9) {
+		t.Fatal("clear failed")
+	}
+	if c.ClearPrefetch(9) {
+		t.Fatal("double clear")
+	}
+	if c.Stats.PrefetchUsed != 1 {
+		t.Fatalf("used %d", c.Stats.PrefetchUsed)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewCache(16, 4)
+	c.Fill(11, true, true, 0)
+	present, dirty, pf := c.Invalidate(11)
+	if !present || !dirty || !pf {
+		t.Fatalf("invalidate returned %v %v %v", present, dirty, pf)
+	}
+	if c.Contains(11) {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestReadyAtPropagates(t *testing.T) {
+	c := NewCache(16, 4)
+	c.Fill(2, false, false, 500)
+	_, _, rdy := c.Lookup(2, false, true)
+	if rdy != 500 {
+		t.Fatalf("readyAt %d, want 500", rdy)
+	}
+}
+
+func TestCapacityInvariant(t *testing.T) {
+	// Property: after arbitrary fills, the number of resident lines
+	// never exceeds capacity, and every filled line is either resident
+	// or was evicted.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		c := NewCache(32, 4)
+		resident := make(map[uint64]bool)
+		for i := 0; i < 500; i++ {
+			line := uint64(r.Intn(100))
+			if c.Contains(line) {
+				continue
+			}
+			ev := c.Fill(line, false, false, 0)
+			resident[line] = true
+			if ev.Valid {
+				delete(resident, ev.Line)
+			}
+		}
+		if len(resident) > c.Lines() {
+			return false
+		}
+		for line := range resident {
+			if !c.Contains(line) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCachePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets did not panic")
+		}
+	}()
+	NewCache(12, 4) // 3 sets
+}

@@ -1,0 +1,136 @@
+package prefetch
+
+import (
+	"testing"
+
+	"minnow/internal/mem"
+	"minnow/internal/sim"
+)
+
+func testMem() *mem.System {
+	cfg := mem.DefaultConfig(1)
+	cfg.ScaleCaches(16)
+	return mem.NewSystem(cfg)
+}
+
+func TestStrideDetectsAndPrefetches(t *testing.T) {
+	m := testMem()
+	p := NewStride(0, m, 4)
+	const pc = 0x41
+	base := uint64(0x100000)
+	for i := uint64(0); i < 10; i++ {
+		p.OnLoad(pc, base+i*64, sim.Time(i*100))
+	}
+	if p.Issued == 0 {
+		t.Fatal("stride prefetcher never fired")
+	}
+	// Distance-4 target of the last trained load should now be in L2.
+	target := base + 9*64 + 4*64
+	if !m.L2(0).Contains(mem.LineAddr(target)) {
+		t.Fatal("prefetched line not resident")
+	}
+}
+
+func TestStrideIgnoresUntaggedLoads(t *testing.T) {
+	m := testMem()
+	p := NewStride(0, m, 4)
+	for i := uint64(0); i < 10; i++ {
+		p.OnLoad(0, 0x100000+i*64, 0) // pc 0: stack traffic
+	}
+	if p.Issued != 0 {
+		t.Fatalf("untrained prefetcher issued %d", p.Issued)
+	}
+}
+
+func TestStrideRetrainsOnStrideChange(t *testing.T) {
+	m := testMem()
+	p := NewStride(0, m, 4)
+	const pc = 0x41
+	for i := uint64(0); i < 6; i++ {
+		p.OnLoad(pc, 0x100000+i*64, 0)
+	}
+	issued := p.Issued
+	// Change stride: confidence resets, no immediate prefetch.
+	p.OnLoad(pc, 0x200000, 0)
+	p.OnLoad(pc, 0x200100, 0)
+	if p.Issued != issued {
+		t.Fatal("prefetched before re-training")
+	}
+	p.OnLoad(pc, 0x200200, 0)
+	p.OnLoad(pc, 0x200300, 0)
+	if p.Issued == issued {
+		t.Fatal("did not re-train on the new stride")
+	}
+}
+
+func TestIMPLearnsIndirectPattern(t *testing.T) {
+	m := testMem()
+	// Index array at 0x100000 with stride 16; targets resolve to
+	// 0x800000 + 1024*index.
+	resolve := func(addr uint64) (uint64, bool) {
+		if addr < 0x100000 || addr >= 0x200000 {
+			return 0, false
+		}
+		idx := (addr - 0x100000) / 16
+		return 0x800000 + idx*1024, true
+	}
+	p := NewIMP(0, m, 4, resolve)
+	const idxPC, tgtPC = 0x41, 0x42
+	for i := uint64(0); i < 12; i++ {
+		idxAddr := 0x100000 + i*16
+		p.OnLoad(idxPC, idxAddr, sim.Time(i*200))
+		tgt, _ := resolve(idxAddr)
+		p.OnLoad(tgtPC, tgt, sim.Time(i*200+50))
+	}
+	if p.Issued == 0 {
+		t.Fatal("IMP never issued")
+	}
+	// After training, the indirect target of (last index + distance)
+	// should be prefetched into the L2.
+	lastIdx := 0x100000 + 11*16
+	futureTgt, _ := resolve(uint64(lastIdx) + 4*16)
+	if !m.L2(0).Contains(mem.LineAddr(futureTgt)) {
+		t.Fatal("indirect target not prefetched")
+	}
+}
+
+func TestIMPShortArraysMissEverything(t *testing.T) {
+	// The §6.3.3 failure mode: with degree < prefetch distance, IMP's
+	// distance-4 prefetches always land beyond the streamed array.
+	m := testMem()
+	resolve := func(addr uint64) (uint64, bool) { return 0, false }
+	p := NewIMP(0, m, 4, resolve)
+	const pc = 0x41
+	// Stream 3-element runs at unrelated bases: stride confidence never
+	// persists long enough within a run to cover it.
+	issuedUseful := 0
+	for run := uint64(0); run < 20; run++ {
+		base := 0x100000 + run*0x10000
+		for i := uint64(0); i < 3; i++ {
+			p.OnLoad(pc, base+i*16, 0)
+			// A useful prefetch would be within this run's 3 elements.
+			for j := uint64(0); j < 3; j++ {
+				line := mem.LineAddr(base + j*16)
+				_ = line
+			}
+		}
+		_ = issuedUseful
+	}
+	// The runs share a PC: stride keeps getting reset by the inter-run
+	// jumps, so almost nothing issues.
+	if p.Issued > 10 {
+		t.Fatalf("IMP issued %d prefetches on 3-element runs", p.Issued)
+	}
+}
+
+func TestIMPWithoutResolve(t *testing.T) {
+	m := testMem()
+	p := NewIMP(0, m, 4, nil)
+	for i := uint64(0); i < 10; i++ {
+		p.OnLoad(0x41, 0x100000+i*16, 0)
+	}
+	// Stride part still works; indirect part silently disabled.
+	if p.Issued == 0 {
+		t.Fatal("stride component inactive")
+	}
+}

@@ -1,0 +1,363 @@
+// Package stats collects and formats simulation statistics: per-core cycle
+// breakdowns, cache miss counters, prefetch effectiveness, and the derived
+// metrics the paper reports (MPKI, prefetch efficiency, delinquent load
+// density, speedups).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"minnow/internal/trace"
+)
+
+// CycleCat classifies where a core cycle was spent, for the Fig. 5
+// breakdown.
+type CycleCat int
+
+const (
+	// CatUseful is time spent executing the benchmark operator that is
+	// not attributable to a memory stall or worklist work.
+	CatUseful CycleCat = iota
+	// CatWorklist is time spent inside worklist enqueue/dequeue
+	// operations (including spin-waiting for work).
+	CatWorklist
+	// CatLoadMiss is stall time attributable to data-cache load misses.
+	CatLoadMiss
+	// CatStoreMiss is stall time attributable to stores and atomics
+	// (atomics are classified as stores, as in the paper).
+	CatStoreMiss
+	numCats
+)
+
+// String returns the short label used in tables.
+func (c CycleCat) String() string {
+	switch c {
+	case CatUseful:
+		return "useful"
+	case CatWorklist:
+		return "worklist"
+	case CatLoadMiss:
+		return "load-miss"
+	case CatStoreMiss:
+		return "store-miss"
+	}
+	return fmt.Sprintf("cat(%d)", int(c))
+}
+
+// CoreStats aggregates one core's activity.
+type CoreStats struct {
+	Cycles     [numCats]int64 // cycle breakdown
+	Instrs     int64          // retired micro-ops (for MPKI)
+	Loads      int64          // all load micro-ops
+	Delinquent int64          // loads tagged as first-touch node/edge/task accesses
+	Branches   int64
+	Mispreds   int64
+	Atomics    int64
+	TasksRun   int64
+	EnqOps     int64
+	DeqOps     int64
+	EnqCycles  int64 // cycles spent inside enqueue operations
+	DeqCycles  int64 // cycles spent inside dequeue operations
+}
+
+// TotalCycles returns the sum over all categories.
+func (c *CoreStats) TotalCycles() int64 {
+	var t int64
+	for _, v := range c.Cycles {
+		t += v
+	}
+	return t
+}
+
+// CacheStats aggregates one cache level's activity.
+type CacheStats struct {
+	Accesses      int64
+	Misses        int64
+	Evictions     int64
+	PrefetchFills int64 // lines installed by a prefetcher
+	PrefetchUsed  int64 // prefetched lines touched by demand before eviction
+	PrefetchWaste int64 // prefetched lines evicted untouched
+}
+
+// Efficiency returns used-before-eviction / fills, the paper's prefetch
+// efficiency metric (Fig. 20). Returns 1 when nothing was prefetched.
+func (c *CacheStats) Efficiency() float64 {
+	if c.PrefetchFills == 0 {
+		return 1
+	}
+	return float64(c.PrefetchUsed) / float64(c.PrefetchFills)
+}
+
+// EngineStats aggregates one Minnow engine's activity.
+type EngineStats struct {
+	LocalEnq     int64 // tasks enqueued into the local queue
+	LocalDeq     int64 // tasks dequeued from the local queue
+	Spills       int64 // tasks spilled to the global worklist
+	Fills        int64 // tasks filled from the global worklist
+	Threadlets   int64 // threadlets executed
+	Prefetches   int64 // prefetch loads issued
+	CreditStalls int64 // times a prefetch threadlet stalled on credits
+	TLBMissExcps int64 // TLB-miss exceptions raised to the host core
+	LateDrops    int64 // prefetch streams cancelled (task already dequeued)
+	StepsRun     int64 // actor steps executed
+	Parks        int64 // times the back-end went idle
+	ClockEnd     int64 // back-end local time at run end
+	StreamsDone  int64 // prefetch streams that ran to completion
+}
+
+// Run captures everything measured during one simulated benchmark run.
+type Run struct {
+	Name       string
+	Threads    int
+	WallCycles int64 // end-to-end simulated cycles
+	TimedOut   bool  // hit the work budget (Fig. 3 "timed out" bars)
+
+	Cores   []CoreStats
+	L2      CacheStats // aggregated over all L2s
+	L3      CacheStats
+	Engines []EngineStats
+
+	WorkItems   int64 // operator applications (work-efficiency metric)
+	DRAMReads   int64
+	DRAMRows    int64
+	InvMsgs     int64   // coherence invalidation messages
+	DRAMStall   int64   // cycles requests queued at busy DRAM channels
+	NoCStall    int64   // cycles flits waited for mesh links
+	AvgLoadLat  float64 // mean demand-load latency (diagnostics)
+	DirtyRemote int64   // reads served from remote modified copies
+	// Trace holds the engine event log when tracing was enabled.
+	Trace      *trace.Buffer
+	LatByLevel [5]int64
+	CntByLevel [5]int64
+
+	// Prefetch waste attribution (diagnostics).
+	WastePFEvict     int64
+	WasteDemandEvict int64
+	WasteInval       int64
+	L1Shielded       int64
+}
+
+// SumCores returns the element-wise sum of all core stats.
+func (r *Run) SumCores() CoreStats {
+	var s CoreStats
+	for i := range r.Cores {
+		c := &r.Cores[i]
+		for k := 0; k < int(numCats); k++ {
+			s.Cycles[k] += c.Cycles[k]
+		}
+		s.Instrs += c.Instrs
+		s.Loads += c.Loads
+		s.Delinquent += c.Delinquent
+		s.Branches += c.Branches
+		s.Mispreds += c.Mispreds
+		s.Atomics += c.Atomics
+		s.TasksRun += c.TasksRun
+		s.EnqOps += c.EnqOps
+		s.DeqOps += c.DeqOps
+		s.EnqCycles += c.EnqCycles
+		s.DeqCycles += c.DeqCycles
+	}
+	return s
+}
+
+// L2MPKI returns L2 misses per thousand retired micro-ops.
+func (r *Run) L2MPKI() float64 {
+	s := r.SumCores()
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(r.L2.Misses) / float64(s.Instrs) * 1000
+}
+
+// DelinquentDensity returns the fraction of loads that were first accesses
+// to node/edge/task data (Fig. 6).
+func (r *Run) DelinquentDensity() float64 {
+	s := r.SumCores()
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.Delinquent) / float64(s.Loads)
+}
+
+// Breakdown returns the fraction of total core cycles per category.
+func (r *Run) Breakdown() [4]float64 {
+	s := r.SumCores()
+	tot := s.TotalCycles()
+	var out [4]float64
+	if tot == 0 {
+		return out
+	}
+	for k := 0; k < int(numCats); k++ {
+		out[k] = float64(s.Cycles[k]) / float64(tot)
+	}
+	return out
+}
+
+// AvgEnqCycles returns the mean cycles per worklist enqueue (Fig. 11).
+func (r *Run) AvgEnqCycles() float64 {
+	s := r.SumCores()
+	if s.EnqOps == 0 {
+		return 0
+	}
+	return float64(s.EnqCycles) / float64(s.EnqOps)
+}
+
+// AvgDeqCycles returns the mean cycles per worklist dequeue (Fig. 11).
+func (r *Run) AvgDeqCycles() float64 {
+	s := r.SumCores()
+	if s.DeqOps == 0 {
+		return 0
+	}
+	return float64(s.DeqCycles) / float64(s.DeqOps)
+}
+
+// Table renders rows as an aligned plain-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: 3 significant-ish decimals for
+// small values, fewer for large.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for our numeric/identifier content).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of positive values; zero or negative
+// inputs are skipped. Returns 0 for an empty input.
+func GeoMean(vals []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// Histogram is a simple fixed-bucket histogram used for degree and latency
+// distributions in tests and tools.
+type Histogram struct {
+	Bounds []int64 // ascending upper bounds; last bucket is overflow
+	Counts []int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{Bounds: b, Counts: make([]int64, len(b)+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	for i, ub := range h.Bounds {
+		if v <= ub {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

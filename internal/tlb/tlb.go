@@ -1,0 +1,148 @@
+// Package tlb models per-core address translation: a small L1 TLB backed
+// by a larger L2 TLB (inclusive, as §4 of the paper assumes), with a fixed
+// page-walk cost on an L2 TLB miss.
+//
+// Minnow engines translate through their core's L2 TLB only; an engine
+// access that misses the L2 TLB raises an exception serviced by the host
+// core (minnow_enqueue/dequeue "may cause TLB miss exception").
+package tlb
+
+import "minnow/internal/sim"
+
+// PageShift is log2 of the 4 KiB page size.
+const PageShift = 12
+
+// Config sets TLB sizes and penalties.
+type Config struct {
+	L1Entries     int
+	L2Entries     int
+	L1Assoc       int
+	L2Assoc       int
+	L1HitCycles   sim.Time // extra cycles on an L1 TLB hit (pipelined: 0)
+	L2HitCycles   sim.Time // extra cycles on L1 miss / L2 hit
+	WalkCycles    sim.Time // page table walk on full miss
+	ExcCycles     sim.Time // host-core exception overhead for engine misses
+	EngineRefills bool     // engine misses install into the L2 TLB
+}
+
+// DefaultConfig approximates a Skylake-class TLB.
+func DefaultConfig() Config {
+	return Config{
+		L1Entries:     64,
+		L2Entries:     1536,
+		L1Assoc:       4,
+		L2Assoc:       12,
+		L1HitCycles:   0,
+		L2HitCycles:   7,
+		WalkCycles:    100,
+		ExcCycles:     150,
+		EngineRefills: true,
+	}
+}
+
+type set struct {
+	tags []uint64
+	lru  []uint64
+}
+
+type level struct {
+	sets  []set
+	assoc int
+	tick  uint64
+}
+
+func newLevel(entries, assoc int) *level {
+	if assoc < 1 {
+		assoc = 1
+	}
+	nsets := entries / assoc
+	if nsets < 1 {
+		nsets = 1
+	}
+	l := &level{assoc: assoc, sets: make([]set, nsets)}
+	for i := range l.sets {
+		l.sets[i] = set{tags: make([]uint64, assoc), lru: make([]uint64, assoc)}
+	}
+	// Tag 0 is a valid page number; use an impossible sentinel.
+	for i := range l.sets {
+		for w := range l.sets[i].tags {
+			l.sets[i].tags[w] = ^uint64(0)
+		}
+	}
+	return l
+}
+
+func (l *level) lookup(page uint64, insert bool) bool {
+	l.tick++
+	s := &l.sets[page%uint64(len(l.sets))]
+	for w, t := range s.tags {
+		if t == page {
+			s.lru[w] = l.tick
+			return true
+		}
+	}
+	if insert {
+		victim := 0
+		for w := 1; w < l.assoc; w++ {
+			if s.lru[w] < s.lru[victim] {
+				victim = w
+			}
+		}
+		s.tags[victim] = page
+		s.lru[victim] = l.tick
+	}
+	return false
+}
+
+// TLB is one core's two-level TLB.
+type TLB struct {
+	cfg Config
+	l1  *level
+	l2  *level
+
+	L1Misses  int64
+	L2Misses  int64
+	Walks     int64
+	EngMisses int64 // engine-side L2 TLB misses (exceptions)
+}
+
+// New returns a TLB with the given configuration.
+func New(cfg Config) *TLB {
+	return &TLB{cfg: cfg, l1: newLevel(cfg.L1Entries, cfg.L1Assoc), l2: newLevel(cfg.L2Entries, cfg.L2Assoc)}
+}
+
+// Translate models a core-side access to addr at time t and returns the
+// translation delay in cycles.
+func (t *TLB) Translate(addr uint64) sim.Time {
+	page := addr >> PageShift
+	if t.l1.lookup(page, false) {
+		return t.cfg.L1HitCycles
+	}
+	t.L1Misses++
+	if t.l2.lookup(page, false) {
+		t.l1.lookup(page, true)
+		return t.cfg.L2HitCycles
+	}
+	t.L2Misses++
+	t.Walks++
+	t.l2.lookup(page, true)
+	t.l1.lookup(page, true)
+	return t.cfg.L2HitCycles + t.cfg.WalkCycles
+}
+
+// EngineTranslate models a Minnow-engine access, which consults only the
+// L2 TLB. On a miss the engine raises an exception to the host core; the
+// returned delay includes the exception service and the walk, and the
+// translation is installed so retries hit.
+func (t *TLB) EngineTranslate(addr uint64) (delay sim.Time, exception bool) {
+	page := addr >> PageShift
+	if t.l2.lookup(page, false) {
+		return t.cfg.L2HitCycles, false
+	}
+	t.EngMisses++
+	t.Walks++
+	if t.cfg.EngineRefills {
+		t.l2.lookup(page, true)
+	}
+	return t.cfg.L2HitCycles + t.cfg.ExcCycles + t.cfg.WalkCycles, true
+}

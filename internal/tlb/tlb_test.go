@@ -1,0 +1,93 @@
+package tlb
+
+import "testing"
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.L1Entries, c.L1Assoc = 4, 2
+	c.L2Entries, c.L2Assoc = 16, 4
+	return c
+}
+
+func TestHitAfterWalk(t *testing.T) {
+	tl := New(testConfig())
+	addr := uint64(0x1234567)
+	first := tl.Translate(addr)
+	if first != testConfig().L2HitCycles+testConfig().WalkCycles {
+		t.Fatalf("cold translate cost %d", first)
+	}
+	if got := tl.Translate(addr); got != testConfig().L1HitCycles {
+		t.Fatalf("warm translate cost %d", got)
+	}
+	if tl.Walks != 1 {
+		t.Fatalf("walks %d", tl.Walks)
+	}
+}
+
+func TestL2Inclusion(t *testing.T) {
+	tl := New(testConfig())
+	// Fill beyond L1 capacity within one L1 set: all these pages map to
+	// different sets generally; just check L1 miss/L2 hit path works.
+	pages := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, p := range pages {
+		tl.Translate(p << PageShift)
+	}
+	// Page 0 may have fallen out of the tiny L1 but must still hit L2.
+	walks := tl.Walks
+	cost := tl.Translate(0)
+	if tl.Walks != walks {
+		t.Fatalf("L2 lost an entry (cost %d)", cost)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tl := New(testConfig())
+	// 64 distinct pages overflow the 16-entry L2: re-touching page 0
+	// must walk again.
+	for p := uint64(0); p < 64; p++ {
+		tl.Translate(p << PageShift)
+	}
+	walks := tl.Walks
+	tl.Translate(0)
+	if tl.Walks != walks+1 {
+		t.Fatal("expected a walk after capacity eviction")
+	}
+}
+
+func TestEngineTranslate(t *testing.T) {
+	cfg := testConfig()
+	tl := New(cfg)
+	d, exc := tl.EngineTranslate(0x9000)
+	if !exc {
+		t.Fatal("cold engine access did not raise an exception")
+	}
+	if d != cfg.L2HitCycles+cfg.ExcCycles+cfg.WalkCycles {
+		t.Fatalf("engine miss cost %d", d)
+	}
+	d, exc = tl.EngineTranslate(0x9000)
+	if exc {
+		t.Fatal("retry missed after refill")
+	}
+	if d != cfg.L2HitCycles {
+		t.Fatalf("engine hit cost %d", d)
+	}
+	if tl.EngMisses != 1 {
+		t.Fatalf("engine misses %d", tl.EngMisses)
+	}
+}
+
+func TestEngineSeesCoreTranslations(t *testing.T) {
+	tl := New(testConfig())
+	tl.Translate(0x5000) // core walk installs into L2
+	if _, exc := tl.EngineTranslate(0x5000); exc {
+		t.Fatal("engine missed a page the core just walked")
+	}
+}
+
+func TestSamePageSharesEntry(t *testing.T) {
+	tl := New(testConfig())
+	tl.Translate(0x2000)
+	if got := tl.Translate(0x2fff); got != 0 {
+		t.Fatalf("same-page access cost %d", got)
+	}
+}

@@ -1,0 +1,167 @@
+// Package trace provides a lightweight ring-buffer event log for the
+// Minnow engines: enqueues, dequeues, spills, fills, prefetch issues,
+// credit stalls, and stream drops, each stamped with simulated time.
+//
+// Tracing is opt-in (a nil buffer costs one branch per event site) and
+// bounded: the ring keeps the most recent Cap events. The minnowsim
+// -trace flag prints the tail of the log after a run.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"minnow/internal/sim"
+)
+
+// Kind classifies an engine event.
+type Kind uint8
+
+const (
+	// EvEnqueue is a minnow_enqueue accepted into a local queue.
+	EvEnqueue Kind = iota
+	// EvEnqueueSpill is a minnow_enqueue routed to the spill queue.
+	EvEnqueueSpill
+	// EvDequeue is a successful minnow_dequeue.
+	EvDequeue
+	// EvDequeueEmpty is a minnow_dequeue that found the local queue empty.
+	EvDequeueEmpty
+	// EvSpill is a spill threadlet batch completing.
+	EvSpill
+	// EvFill is a fill threadlet completing.
+	EvFill
+	// EvPrefetch is one prefetch threadlet issuing its loads.
+	EvPrefetch
+	// EvCreditStall is the prefetcher pausing on an empty credit pool.
+	EvCreditStall
+	// EvStreamDrop is a stale prefetch stream being cancelled.
+	EvStreamDrop
+	// EvFlush is a minnow_flush.
+	EvFlush
+	numKinds
+)
+
+// String returns the event label.
+func (k Kind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "enqueue"
+	case EvEnqueueSpill:
+		return "enqueue-spill"
+	case EvDequeue:
+		return "dequeue"
+	case EvDequeueEmpty:
+		return "dequeue-empty"
+	case EvSpill:
+		return "spill"
+	case EvFill:
+		return "fill"
+	case EvPrefetch:
+		return "prefetch"
+	case EvCreditStall:
+		return "credit-stall"
+	case EvStreamDrop:
+		return "stream-drop"
+	case EvFlush:
+		return "flush"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one engine event.
+type Event struct {
+	At     sim.Time
+	Engine int32 // engine attach-point core ID
+	Core   int32 // served core (differs from Engine when sharing)
+	Kind   Kind
+	Arg    int64 // kind-specific: node ID, batch size, load count...
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12d  eng%-3d core%-3d %-14s %d", e.At, e.Engine, e.Core, e.Kind, e.Arg)
+}
+
+// Buffer is a fixed-capacity ring of the most recent events. The zero
+// value discards everything; construct with New.
+type Buffer struct {
+	ring  []Event
+	next  int
+	total int64
+	byK   [numKinds]int64
+}
+
+// New returns a buffer keeping the last cap events.
+func New(cap int) *Buffer {
+	if cap <= 0 {
+		cap = 1
+	}
+	return &Buffer{ring: make([]Event, 0, cap)}
+}
+
+// Emit records an event. Safe to call on a nil buffer (no-op).
+func (b *Buffer) Emit(at sim.Time, engine, core int, kind Kind, arg int64) {
+	if b == nil {
+		return
+	}
+	ev := Event{At: at, Engine: int32(engine), Core: int32(core), Kind: kind, Arg: arg}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, ev)
+	} else {
+		b.ring[b.next] = ev
+		b.next = (b.next + 1) % cap(b.ring)
+	}
+	b.total++
+	b.byK[kind]++
+}
+
+// Total returns how many events were emitted (including overwritten ones).
+func (b *Buffer) Total() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
+
+// Count returns how many events of a kind were emitted.
+func (b *Buffer) Count(k Kind) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.byK[k]
+}
+
+// Events returns the retained events oldest-first.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(b.ring))
+	if len(b.ring) < cap(b.ring) {
+		return append(out, b.ring...)
+	}
+	out = append(out, b.ring[b.next:]...)
+	return append(out, b.ring[:b.next]...)
+}
+
+// String renders the retained tail plus a per-kind summary.
+func (b *Buffer) String() string {
+	if b == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "engine trace: %d events total, showing last %d\n", b.total, len(b.ring))
+	fmt.Fprintf(&sb, "%12s  %-6s %-7s %-14s %s\n", "cycle", "engine", "core", "event", "arg")
+	for _, ev := range b.Events() {
+		sb.WriteString(ev.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("per-kind counts:")
+	for k := Kind(0); k < numKinds; k++ {
+		if b.byK[k] > 0 {
+			fmt.Fprintf(&sb, " %s=%d", k, b.byK[k])
+		}
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingRetainsTail(t *testing.T) {
+	b := New(3)
+	for i := int64(0); i < 5; i++ {
+		b.Emit(0, 0, 0, EvEnqueue, i)
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Arg != int64(i+2) {
+			t.Fatalf("ring order wrong: %v", evs)
+		}
+	}
+	if b.Total() != 5 {
+		t.Fatalf("total %d", b.Total())
+	}
+}
+
+func TestNilBufferIsNoop(t *testing.T) {
+	var b *Buffer
+	b.Emit(1, 2, 3, EvSpill, 4) // must not panic
+	if b.Total() != 0 || b.Count(EvSpill) != 0 || b.Events() != nil {
+		t.Fatal("nil buffer not inert")
+	}
+	if b.String() != "" {
+		t.Fatal("nil buffer rendered text")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	b := New(10)
+	b.Emit(0, 0, 0, EvFill, 48)
+	b.Emit(0, 0, 0, EvFill, 16)
+	b.Emit(0, 0, 0, EvSpill, 8)
+	if b.Count(EvFill) != 2 || b.Count(EvSpill) != 1 {
+		t.Fatalf("counts wrong")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	b := New(4)
+	b.Emit(1234, 2, 3, EvPrefetch, 7)
+	s := b.String()
+	for _, frag := range []string{"prefetch", "eng2", "core3", "1234"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no label", k)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package uops
+
+import "testing"
+
+func TestTraceBuilders(t *testing.T) {
+	var tr Trace
+	tr.Compute(3)
+	tr.Load(0x100, true, false)
+	tr.LoadPC(0x42, 0x200, false, true)
+	tr.Store(0x300)
+	tr.Atomic(0x400)
+	tr.Branch(0x7, true, true)
+	if len(tr.Ops) != 6 {
+		t.Fatalf("ops %d", len(tr.Ops))
+	}
+	if tr.Ops[0].Kind != Compute || tr.Ops[0].N != 3 {
+		t.Fatalf("compute op %+v", tr.Ops[0])
+	}
+	if !tr.Ops[1].Delinquent || tr.Ops[1].DepLoad {
+		t.Fatalf("load op %+v", tr.Ops[1])
+	}
+	if tr.Ops[2].PC != 0x42 || !tr.Ops[2].DepLoad {
+		t.Fatalf("loadpc op %+v", tr.Ops[2])
+	}
+	if tr.Ops[5].Kind != Branch || !tr.Ops[5].Taken || !tr.Ops[5].DepBranch {
+		t.Fatalf("branch op %+v", tr.Ops[5])
+	}
+}
+
+func TestInstrs(t *testing.T) {
+	var tr Trace
+	tr.Compute(10)
+	tr.Load(1, false, false)
+	tr.Branch(2, false, false)
+	if got := tr.Instrs(); got != 12 {
+		t.Fatalf("instrs %d, want 12", got)
+	}
+}
+
+func TestComputeChunking(t *testing.T) {
+	var tr Trace
+	tr.Compute(100000) // beyond one uop's uint16 capacity
+	var total int64
+	for _, op := range tr.Ops {
+		if op.Kind != Compute {
+			t.Fatal("non-compute op emitted")
+		}
+		total += int64(op.N)
+	}
+	if total != 100000 {
+		t.Fatalf("chunked total %d", total)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var tr Trace
+	tr.Compute(1)
+	tr.Reset()
+	if len(tr.Ops) != 0 {
+		t.Fatal("reset kept ops")
+	}
+	if cap(tr.Ops) == 0 {
+		t.Fatal("reset dropped capacity")
+	}
+}

@@ -1,0 +1,86 @@
+package worklist
+
+import (
+	"container/heap"
+
+	"minnow/internal/graph"
+)
+
+// StrictPQ is a single global binary heap guarded by one lock — the strict
+// priority scheduler (Dijkstra-style). Maximally work-efficient, but every
+// operation serializes on the lock and touches O(log n) heap lines, which
+// is exactly why "priority queues are not good concurrent priority
+// schedulers" (Lenharth et al., cited in §2.1).
+type StrictPQ struct {
+	h        taskHeap
+	glock    lock
+	heapAddr uint64
+	descs    *descArena
+}
+
+type taskHeap []Task
+
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i].Priority < h[j].Priority }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(Task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// NewStrictPQ builds the strict priority worklist.
+func NewStrictPQ(as *graph.AddrSpace) *StrictPQ {
+	return &StrictPQ{
+		glock:    newLock(as),
+		heapAddr: as.Alloc(1 << 20),
+		descs:    newDescArena(as, 1<<16),
+	}
+}
+
+// Name implements Worklist.
+func (q *StrictPQ) Name() string { return "strict-pq" }
+
+// Len implements Worklist.
+func (q *StrictPQ) Len() int { return len(q.h) }
+
+// heapOps emits the loads/stores of a sift through depth levels of a heap
+// laid out as an array at heapAddr.
+func (q *StrictPQ) heapOps(ctx *Ctx, idx int) {
+	for idx > 0 {
+		parent := (idx - 1) / 2
+		ctx.TR.Load(q.heapAddr+uint64(parent)*16, false, false)
+		ctx.TR.Compute(4)
+		ctx.TR.Store(q.heapAddr + uint64(idx)*16)
+		idx = parent
+	}
+	ctx.TR.Store(q.heapAddr)
+}
+
+// Push implements Worklist.
+func (q *StrictPQ) Push(ctx *Ctx, t Task) {
+	t.Desc = q.descs.alloc(ctx.Core.ID)
+	q.glock.acquire(ctx)
+	ctx.TR.Store(t.Desc)
+	q.heapOps(ctx, len(q.h))
+	q.glock.release(ctx)
+	heap.Push(&q.h, t)
+}
+
+// Pop implements Worklist.
+func (q *StrictPQ) Pop(ctx *Ctx) (Task, bool) {
+	q.glock.acquire(ctx)
+	if len(q.h) == 0 {
+		ctx.TR.Load(q.heapAddr, false, false)
+		q.glock.release(ctx)
+		return Task{}, false
+	}
+	q.heapOps(ctx, len(q.h)-1)
+	ctx.TR.Compute(8)
+	q.glock.release(ctx)
+	t := heap.Pop(&q.h).(Task)
+	return t, true
+}

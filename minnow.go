@@ -1,0 +1,373 @@
+// Package minnow is a simulation-based reproduction of "Minnow:
+// Lightweight Offload Engines for Worklist Management and
+// Worklist-Directed Prefetching" (Zhang, Ma, Thomson, Chiou — ASPLOS
+// 2018).
+//
+// It bundles a deterministic discrete-event CMP simulator (out-of-order
+// cores, three-level cache hierarchy with a mesh NoC and DDR channels), a
+// Galois-like parallel task framework with OBIM/FIFO/LIFO/strict-priority
+// worklists, the Minnow engine itself (worklist offload plus credit-
+// throttled worklist-directed prefetching), hardware-prefetcher and
+// GraphMat-style baselines, and the paper's seven graph benchmarks with
+// synthetic input generators.
+//
+// Quick start:
+//
+//	res, err := minnow.Run("SSSP", minnow.Config{Threads: 8, Minnow: true, Prefetch: true})
+//
+// Every table and figure from the paper's evaluation can be regenerated
+// through RenderFigure (or the cmd/figures binary).
+package minnow
+
+import (
+	"fmt"
+	"sort"
+
+	"minnow/internal/core"
+	"minnow/internal/cpu"
+	"minnow/internal/graph"
+	"minnow/internal/harness"
+	"minnow/internal/kernels"
+	"minnow/internal/stats"
+	"minnow/internal/worklist"
+)
+
+// Config selects the simulated system and scheduler for a Run.
+type Config struct {
+	// Threads is the core count (default 8; the paper evaluates 64).
+	Threads int
+	// Scale multiplies the default input sizes (default 1).
+	Scale int
+	// Seed drives the graph generators (default 42).
+	Seed uint64
+
+	// Minnow attaches a Minnow engine to every core and offloads the
+	// worklist to it; otherwise the software scheduler below is used.
+	Minnow bool
+	// Prefetch enables worklist-directed prefetching (requires Minnow).
+	Prefetch bool
+	// Credits sets the prefetch credit pool (default 32, §5.3.1).
+	Credits int
+
+	// Scheduler picks the software worklist when Minnow is false:
+	// "obim" (default), "fifo", "lifo", or "strictpq".
+	Scheduler string
+	// LgInterval overrides the OBIM/Minnow bucket interval (log2); nil
+	// uses each benchmark's tuned default.
+	LgInterval *uint
+
+	// HWPrefetcher attaches a baseline hardware prefetcher to each core:
+	// "stride" or "imp".
+	HWPrefetcher string
+
+	// SplitThreshold breaks tasks with more edges into subtasks
+	// (§6.2.1); 0 disables splitting.
+	SplitThreshold int32
+	// WorkBudget aborts runs after this many operator applications
+	// (0 = unlimited); aborted runs report TimedOut.
+	WorkBudget int64
+	// Serial elides atomics (the optimized 1-thread serial baseline).
+	Serial bool
+	// MemChannels sets the DRAM channel count (default 12).
+	MemChannels int
+	// PerfectBP / NoFences idealize the cores (Fig. 4 modes).
+	PerfectBP, NoFences bool
+
+	// CustomPrefetch overrides the benchmark's prefetch program (§5.3's
+	// user-written prefetch function hook). Requires Minnow+Prefetch.
+	CustomPrefetch PrefetchFunc
+
+	// SkipVerify disables the post-run check against the reference
+	// implementation.
+	SkipVerify bool
+
+	// TraceEvents records the last N Minnow engine events; the rendered
+	// log is returned in Result.TraceText (requires Minnow).
+	TraceEvents int
+}
+
+// Result reports a simulated run's headline metrics.
+type Result struct {
+	Benchmark  string
+	Threads    int
+	WallCycles int64 // end-to-end simulated cycles
+	Tasks      int64 // operator applications (work-efficiency metric)
+	TimedOut   bool
+
+	L2MPKI             float64    // demand L2 misses per kilo-instruction
+	PrefetchEfficiency float64    // used-before-eviction / prefetch fills
+	DelinquentDensity  float64    // Fig. 6 metric
+	Breakdown          [4]float64 // useful / worklist / load-miss / store-miss
+	Instructions       int64
+	EnginePrefetches   int64
+	AvgEnqueueCycles   float64
+	AvgDequeueCycles   float64
+
+	// TraceText is the rendered engine event log (Config.TraceEvents).
+	TraceText string
+}
+
+// Benchmarks lists the available workloads: the paper's Table-2 suite
+// plus extensions (currently KCORE, the §8 future-work demonstration).
+func Benchmarks() []string {
+	var out []string
+	for _, s := range kernels.Suite() {
+		out = append(out, s.Name)
+	}
+	for _, s := range kernels.Extensions() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// toOptions converts the public config to harness options.
+func (c Config) toOptions() harness.Options {
+	o := harness.Options{
+		Threads:        c.Threads,
+		Scale:          c.Scale,
+		Seed:           c.Seed,
+		Scheduler:      c.Scheduler,
+		Prefetch:       c.Prefetch,
+		Credits:        c.Credits,
+		HWPrefetcher:   c.HWPrefetcher,
+		SplitThreshold: c.SplitThreshold,
+		WorkBudget:     c.WorkBudget,
+		Serial:         c.Serial,
+		MemChannels:    c.MemChannels,
+		SkipVerify:     c.SkipVerify,
+		TraceEvents:    c.TraceEvents,
+	}
+	if c.Minnow {
+		o.Scheduler = "minnow"
+	}
+	if c.LgInterval != nil {
+		o.LgInterval = *c.LgInterval
+		o.LgIntervalSet = true
+	}
+	if c.PerfectBP || c.NoFences {
+		cfg := cpu.DefaultConfig()
+		cfg.PerfectBP = c.PerfectBP
+		cfg.NoFences = c.NoFences
+		o.CoreCfg = &cfg
+	}
+	return o
+}
+
+// Run simulates one benchmark under the configuration and verifies its
+// result against the reference implementation.
+func Run(benchmark string, cfg Config) (*Result, error) {
+	spec, err := kernels.SpecByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	o := cfg.toOptions()
+	if cfg.CustomPrefetch != nil {
+		if !cfg.Minnow || !cfg.Prefetch {
+			return nil, fmt.Errorf("minnow: CustomPrefetch requires Minnow and Prefetch")
+		}
+		o.CustomPrefetch = adaptPrefetch(spec, o, cfg.CustomPrefetch)
+	}
+	r, err := harness.Run(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(benchmark, r), nil
+}
+
+// resultFrom assembles the public result from a harness run.
+func resultFrom(benchmark string, r *stats.Run) *Result {
+	sum := r.SumCores()
+	res := &Result{
+		Benchmark:          benchmark,
+		Threads:            r.Threads,
+		WallCycles:         r.WallCycles,
+		Tasks:              r.WorkItems,
+		TimedOut:           r.TimedOut,
+		L2MPKI:             r.L2MPKI(),
+		PrefetchEfficiency: r.L2.Efficiency(),
+		DelinquentDensity:  r.DelinquentDensity(),
+		Breakdown:          r.Breakdown(),
+		Instructions:       sum.Instrs,
+		AvgEnqueueCycles:   r.AvgEnqCycles(),
+		AvgDequeueCycles:   r.AvgDeqCycles(),
+	}
+	for _, e := range r.Engines {
+		res.EnginePrefetches += e.Prefetches
+	}
+	if r.Trace != nil {
+		res.TraceText = r.Trace.String()
+	}
+	return res
+}
+
+// Task identifies one scheduled unit of work, exposed to custom prefetch
+// functions.
+type Task struct {
+	Priority       int64
+	Node           int32
+	EdgeLo, EdgeHi int32 // EdgeHi < 0: the whole node
+}
+
+// GraphView gives custom prefetch functions read access to the input
+// graph's structure and simulated address layout.
+type GraphView struct {
+	g *graph.Graph
+}
+
+// NumNodes returns the node count.
+func (v GraphView) NumNodes() int { return v.g.N }
+
+// Degree returns node n's out-degree.
+func (v GraphView) Degree(n int32) int32 { return v.g.Degree(n) }
+
+// EdgeRange returns the CSR index range of n's outgoing edges.
+func (v GraphView) EdgeRange(n int32) (lo, hi int32) { return v.g.EdgeRange(n) }
+
+// Dest returns the destination of CSR edge i.
+func (v GraphView) Dest(i int32) int32 { return v.g.Dests[i] }
+
+// NodeAddr returns the simulated address of node n's record.
+func (v GraphView) NodeAddr(n int32) uint64 { return v.g.NodeAddr(n) }
+
+// EdgeAddr returns the simulated address of CSR edge i.
+func (v GraphView) EdgeAddr(i int32) uint64 { return v.g.EdgeAddr(i) }
+
+// PrefetchFunc is a user-written prefetch helper (§5.3): called once per
+// scheduled task; each emit(addrs...) call becomes one engine threadlet
+// whose loads issue sequentially (each address may depend on the previous
+// load's data); separate emits overlap in the engine's load buffer.
+type PrefetchFunc func(t Task, g GraphView, emit func(addrs ...uint64))
+
+// adaptPrefetch bridges the public PrefetchFunc onto the engine's
+// program interface for the benchmark's graph.
+func adaptPrefetch(spec kernels.Spec, o harness.Options, f PrefetchFunc) core.PrefetchProgram {
+	// The kernel (and its graph) are rebuilt inside harness.Run; to hand
+	// the user the right GraphView we rebuild an identical graph here
+	// (generators are deterministic in (scale, seed)).
+	as := graph.NewAddrSpace()
+	scale := o.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	threads := o.Threads
+	if threads == 0 {
+		threads = 8
+	}
+	k := spec.Build(scale, seed, as, threads)
+	view := GraphView{g: k.Graph()}
+	return &core.FuncProgram{F: func(t worklist.Task, emit func(addrs ...uint64)) {
+		f(Task{Priority: t.Priority, Node: t.Node, EdgeLo: t.EdgeLo, EdgeHi: t.EdgeHi}, view, emit)
+	}}
+}
+
+// Figures lists the regenerable tables and figures from the paper.
+func Figures() []string {
+	out := make([]string, 0, len(figureFns))
+	for name := range figureFns {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FigureOptions parameterizes figure regeneration.
+type FigureOptions struct {
+	Threads int    // default 64 (the paper's configuration)
+	Scale   int    // default 1
+	Seed    uint64 // default 42
+	Quick   bool   // trimmed sweeps
+}
+
+func (f FigureOptions) toFig() harness.FigOptions {
+	o := harness.DefaultFigOptions()
+	if f.Threads > 0 {
+		o.Threads = f.Threads
+	}
+	if f.Scale > 0 {
+		o.Scale = f.Scale
+	}
+	if f.Seed != 0 {
+		o.Seed = f.Seed
+	}
+	o.Quick = f.Quick
+	return o
+}
+
+// figureTables maps figure names to table-producing functions (used for
+// CSV export; diagram-style multi-table outputs are text-only).
+var figureTables = map[string]func(harness.FigOptions) (*stats.Table, error){
+	"table1": func(f harness.FigOptions) (*stats.Table, error) { return harness.Table1(f), nil },
+	"table2": harness.Table2,
+	"table3": func(f harness.FigOptions) (*stats.Table, error) { return harness.Table3(f), nil },
+	"fig2":   harness.Fig2,
+	"fig3":   harness.Fig3,
+	"fig4":   harness.Fig4,
+	"fig5":   harness.Fig5,
+	"fig6":   harness.Fig6,
+	"fig11":  harness.Fig11,
+	"fig15":  harness.Fig15,
+	"fig16":  harness.Fig16,
+	"fig17":  harness.Fig17,
+	"fig18":  harness.Fig18,
+	"fig19":  harness.Fig19,
+	"fig20":  harness.Fig20,
+	"fig21":  harness.Fig21,
+	"area":   func(harness.FigOptions) (*stats.Table, error) { return harness.AreaTable(), nil },
+}
+
+// RenderFigureCSV regenerates a figure as comma-separated values.
+func RenderFigureCSV(name string, opts FigureOptions) (string, error) {
+	fn, ok := figureTables[name]
+	if !ok {
+		return "", fmt.Errorf("minnow: figure %q has no CSV form (have %v)", name, Figures())
+	}
+	tb, err := fn(opts.toFig())
+	if err != nil {
+		return "", err
+	}
+	return tb.CSV(), nil
+}
+
+var figureFns = map[string]func(harness.FigOptions) (string, error){
+	"table1": func(f harness.FigOptions) (string, error) { return harness.Table1(f).String(), nil },
+	"table2": func(f harness.FigOptions) (string, error) { return tbl(harness.Table2(f)) },
+	"table3": func(f harness.FigOptions) (string, error) { return harness.Table3(f).String(), nil },
+	"fig2":   func(f harness.FigOptions) (string, error) { return tbl(harness.Fig2(f)) },
+	"fig3":   func(f harness.FigOptions) (string, error) { return tbl(harness.Fig3(f)) },
+	"fig4":   func(f harness.FigOptions) (string, error) { return tbl(harness.Fig4(f)) },
+	"fig5":   func(f harness.FigOptions) (string, error) { return tbl(harness.Fig5(f)) },
+	"fig6":   func(f harness.FigOptions) (string, error) { return tbl(harness.Fig6(f)) },
+	"fig11":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig11(f)) },
+	"fig15":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig15(f)) },
+	"fig16":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig16(f)) },
+	"fig17":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig17(f)) },
+	"fig18":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig18(f)) },
+	"fig19":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig19(f)) },
+	"fig20":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig20(f)) },
+	"fig21":  func(f harness.FigOptions) (string, error) { return tbl(harness.Fig21(f)) },
+	"area":   func(harness.FigOptions) (string, error) { return harness.AreaTable().String(), nil },
+	"ablations": func(f harness.FigOptions) (string, error) {
+		return harness.Ablations(f)
+	},
+}
+
+func tbl(t interface{ String() string }, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
+
+// RenderFigure regenerates one of the paper's tables or figures (see
+// Figures for the names) as a plain-text table.
+func RenderFigure(name string, opts FigureOptions) (string, error) {
+	fn, ok := figureFns[name]
+	if !ok {
+		return "", fmt.Errorf("minnow: unknown figure %q (have %v)", name, Figures())
+	}
+	return fn(opts.toFig())
+}

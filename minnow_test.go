@@ -1,0 +1,169 @@
+package minnow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	b := Benchmarks()
+	if len(b) != 8 { // Table-2 suite + the KCORE extension
+		t.Fatalf("benchmarks %v", b)
+	}
+}
+
+func TestKCoreExtensionThroughPublicAPI(t *testing.T) {
+	res, err := Run("KCORE", Config{Threads: 4, Minnow: true, Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks == 0 {
+		t.Fatal("no k-core work executed")
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	res, err := Run("SSSP", Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles <= 0 || res.Tasks <= 0 || res.Instructions <= 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+	if res.Benchmark != "SSSP" || res.Threads != 2 {
+		t.Fatalf("metadata wrong %+v", res)
+	}
+}
+
+func TestPublicRunMinnowPrefetch(t *testing.T) {
+	res, err := Run("CC", Config{Threads: 2, Minnow: true, Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnginePrefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if res.PrefetchEfficiency <= 0 || res.PrefetchEfficiency > 1 {
+		t.Fatalf("efficiency %v", res.PrefetchEfficiency)
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Run("BOGUS", Config{}); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+}
+
+func TestCustomPrefetchRequiresMinnow(t *testing.T) {
+	f := func(tk Task, g GraphView, emit func(addrs ...uint64)) {}
+	if _, err := Run("TC", Config{CustomPrefetch: f}); err == nil {
+		t.Fatal("custom prefetch without minnow accepted")
+	}
+}
+
+func TestCustomPrefetchRuns(t *testing.T) {
+	calls := 0
+	f := func(tk Task, g GraphView, emit func(addrs ...uint64)) {
+		calls++
+		emit(g.NodeAddr(tk.Node))
+	}
+	res, err := Run("TC", Config{Threads: 2, Minnow: true, Prefetch: true, CustomPrefetch: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("custom prefetch function never invoked")
+	}
+	if res.EnginePrefetches == 0 {
+		t.Fatal("custom prefetches not issued")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Threads: 3, Seed: 11, Minnow: true, Prefetch: true}
+	a, err := Run("BC", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("BC", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WallCycles != b.WallCycles || a.Tasks != b.Tasks || a.Instructions != b.Instructions {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestLgIntervalOverride(t *testing.T) {
+	lg := uint(2)
+	a, err := Run("SSSP", Config{Threads: 2, LgInterval: &lg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("SSSP", Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WallCycles == b.WallCycles {
+		t.Fatal("bucket interval override had no effect")
+	}
+}
+
+func TestFiguresRegistry(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 18 {
+		t.Fatalf("figure registry has %d entries: %v", len(figs), figs)
+	}
+	if _, err := RenderFigure("nope", FigureOptions{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRenderStaticFigures(t *testing.T) {
+	for _, name := range []string{"table1", "table3", "area"} {
+		text, err := RenderFigure(name, FigureOptions{Quick: true, Threads: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(text, "\n") {
+			t.Fatalf("%s rendered empty", name)
+		}
+	}
+}
+
+func TestIdealCoreModes(t *testing.T) {
+	real, err := Run("PR", Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Run("PR", Config{Threads: 2, PerfectBP: true, NoFences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.WallCycles >= real.WallCycles {
+		t.Fatalf("ideal core (%d) not faster than realistic (%d)", ideal.WallCycles, real.WallCycles)
+	}
+}
+
+func TestRenderFigureCSV(t *testing.T) {
+	csv, err := RenderFigureCSV("table1", FigureOptions{Threads: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, ",") || !strings.Contains(csv, "\n") {
+		t.Fatalf("csv malformed: %q", csv[:min(80, len(csv))])
+	}
+	if _, err := RenderFigureCSV("ablations", FigureOptions{}); err == nil {
+		t.Fatal("multi-table figure should have no CSV form")
+	}
+}
+
+func TestTraceThroughPublicAPI(t *testing.T) {
+	res, err := Run("BC", Config{Threads: 2, Minnow: true, Prefetch: true, TraceEvents: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.TraceText, "engine trace") {
+		t.Fatal("trace text missing")
+	}
+}
