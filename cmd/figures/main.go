@@ -2,9 +2,13 @@
 // evaluation section and writes them to stdout and (optionally) a results
 // directory.
 //
+// Each figure's independent configurations fan out over a bounded worker
+// pool (-jobs N, default = all CPUs); rendered output is byte-identical
+// for any -jobs value.
+//
 // Usage:
 //
-//	figures [-only fig16,fig18] [-threads 64] [-scale 1] [-quick] [-out results/]
+//	figures [-only fig16,fig18] [-threads 64] [-scale 1] [-quick] [-jobs 8] [-out results/]
 package main
 
 import (
@@ -27,10 +31,11 @@ func main() {
 		quick   = flag.Bool("quick", false, "trimmed sweeps (fast)")
 		out     = flag.String("out", "", "directory to also write per-figure .txt files")
 		csv     = flag.Bool("csv", false, "also write .csv files (requires -out)")
+		jobs    = flag.Int("jobs", 0, "max concurrent simulations per figure (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
-	opts := minnow.FigureOptions{Threads: *threads, Scale: *scale, Seed: *seed, Quick: *quick}
+	opts := minnow.FigureOptions{Threads: *threads, Scale: *scale, Seed: *seed, Quick: *quick, Jobs: *jobs}
 
 	names := minnow.Figures()
 	if *only != "" {

@@ -1,9 +1,12 @@
 // Command minnowsim runs a single benchmark on the simulated CMP and
-// prints its metrics.
+// prints its metrics. With -verify-determinism the configuration is
+// instead run twice and the runs compared field by field (wall cycles,
+// step counts, per-core statistics hash).
 //
 // Usage:
 //
 //	minnowsim -bench SSSP -threads 16 -minnow -prefetch
+//	minnowsim -bench CC -minnow -prefetch -verify-determinism
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		traceN   = flag.Int("trace", 0, "print the last N Minnow engine events (needs -minnow)")
 		graphIn  = flag.String("graph", "", "run on a saved binary CSR graph (see graphgen -save)")
 		source   = flag.Int("source", 0, "source node for SSSP/BFS/G500 with -graph")
+		verify   = flag.Bool("verify-determinism", false, "run the configuration twice and compare results")
 	)
 	flag.Parse()
 
@@ -53,6 +57,29 @@ func main() {
 	}
 	if *serial {
 		cfg.Threads = 1
+	}
+	if *verify {
+		if *graphIn != "" {
+			fmt.Fprintln(os.Stderr, "minnowsim: -verify-determinism does not support -graph")
+			os.Exit(1)
+		}
+		reports, err := minnow.VerifyDeterminism(
+			[]minnow.RunRequest{{Benchmark: *bench, Config: cfg}}, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", err)
+			os.Exit(1)
+		}
+		rep := reports[0]
+		if !rep.OK() {
+			fmt.Printf("FAIL %s sched=%s: runs diverged\n", rep.Benchmark, rep.Scheduler)
+			for _, m := range rep.Mismatches {
+				fmt.Printf("     %s\n", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("PASS %s sched=%s: 2 runs identical (stats hash %s)\n",
+			rep.Benchmark, rep.Scheduler, rep.Hash[:16])
+		return
 	}
 	var res *minnow.Result
 	var err error

@@ -1,12 +1,20 @@
-// Command sweep runs a Cartesian grid of configurations over one
-// benchmark and emits one CSV row per run — the general-purpose
+// Command sweep runs a Cartesian grid of configurations over one or more
+// benchmarks and emits one CSV row per run — the general-purpose
 // experiment driver behind ad-hoc studies that the fixed figure suite
 // does not cover.
+//
+// Independent configurations fan out over a bounded worker pool
+// (-jobs N, default = all CPUs); rows are always emitted in grid order,
+// so the CSV is byte-identical for any -jobs value. With
+// -verify-determinism the grid is instead run twice and the paired runs
+// are compared (wall cycles, step counts, per-core statistics hash);
+// any mismatch exits non-zero.
 //
 // Usage:
 //
 //	sweep -bench SSSP -threads 1,2,4,8 -sched obim,minnow -credits 32
 //	sweep -bench CC -threads 8 -sched minnow -prefetch -credits 4,16,64,256 -out cc.csv
+//	sweep -bench SSSP,CC,TC -sched obim,minnow -verify-determinism
 package main
 
 import (
@@ -34,7 +42,7 @@ func intList(s string) ([]int, error) {
 
 func main() {
 	var (
-		bench    = flag.String("bench", "SSSP", "benchmark: "+strings.Join(minnow.Benchmarks(), ", "))
+		bench    = flag.String("bench", "SSSP", "comma-separated benchmarks: "+strings.Join(minnow.Benchmarks(), ", "))
 		threads  = flag.String("threads", "8", "comma-separated thread counts")
 		scheds   = flag.String("sched", "obim,minnow", "comma-separated schedulers (obim, fifo, lifo, strictpq, minnow)")
 		credits  = flag.String("credits", "32", "comma-separated credit counts (minnow+prefetch runs)")
@@ -43,6 +51,8 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "generator seed")
 		split    = flag.Int("split", 512, "task-splitting threshold (0 = off)")
 		out      = flag.String("out", "", "CSV output file (default stdout)")
+		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
+		verify   = flag.Bool("verify-determinism", false, "run each configuration twice and compare results instead of emitting CSV")
 	)
 	flag.Parse()
 
@@ -55,6 +65,45 @@ func main() {
 		fail(err)
 	}
 	schedList := strings.Split(*scheds, ",")
+	benchList := strings.Split(*bench, ",")
+
+	// Build the request grid in deterministic nested order; results are
+	// consumed in the same order below, so output never depends on -jobs.
+	var reqs []minnow.RunRequest
+	for _, b := range benchList {
+		b = strings.TrimSpace(b)
+		for _, th := range ths {
+			for _, sched := range schedList {
+				sched = strings.TrimSpace(sched)
+				creditSet := []int{0}
+				pf := false
+				if sched == "minnow" && *prefetch {
+					creditSet = crs
+					pf = true
+				}
+				for _, cr := range creditSet {
+					cfg := minnow.Config{
+						Threads:        th,
+						Scale:          *scale,
+						Seed:           *seed,
+						Scheduler:      sched,
+						SplitThreshold: int32(*split),
+					}
+					if sched == "minnow" {
+						cfg.Minnow = true
+						cfg.Prefetch = pf
+						cfg.Credits = cr
+					}
+					reqs = append(reqs, minnow.RunRequest{Benchmark: b, Config: cfg})
+				}
+			}
+		}
+	}
+
+	if *verify {
+		verifyDeterminism(reqs, *jobs)
+		return
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -67,41 +116,46 @@ func main() {
 	}
 	fmt.Fprintln(w, "bench,threads,scheduler,prefetch,credits,wall_cycles,tasks,instructions,l2_mpki,prefetch_efficiency,useful,worklist,load_miss,store_miss,timed_out")
 
-	for _, th := range ths {
-		for _, sched := range schedList {
-			sched = strings.TrimSpace(sched)
-			creditSet := []int{0}
-			pf := false
-			if sched == "minnow" && *prefetch {
-				creditSet = crs
-				pf = true
-			}
-			for _, cr := range creditSet {
-				cfg := minnow.Config{
-					Threads:        th,
-					Scale:          *scale,
-					Seed:           *seed,
-					Scheduler:      sched,
-					SplitThreshold: int32(*split),
-				}
-				if sched == "minnow" {
-					cfg.Minnow = true
-					cfg.Prefetch = pf
-					cfg.Credits = cr
-				}
-				res, err := minnow.Run(*bench, cfg)
-				if err != nil {
-					fail(err)
-				}
-				fmt.Fprintf(w, "%s,%d,%s,%v,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%v\n",
-					*bench, th, sched, pf, cr,
-					res.WallCycles, res.Tasks, res.Instructions,
-					res.L2MPKI, res.PrefetchEfficiency,
-					res.Breakdown[0], res.Breakdown[1], res.Breakdown[2], res.Breakdown[3],
-					res.TimedOut)
-			}
+	for _, rr := range minnow.RunMany(reqs, *jobs) {
+		if rr.Err != nil {
+			fail(rr.Err)
+		}
+		cfg, res := rr.Request.Config, rr.Result
+		fmt.Fprintf(w, "%s,%d,%s,%v,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%v\n",
+			rr.Request.Benchmark, cfg.Threads, cfg.Scheduler, cfg.Prefetch, cfg.Credits,
+			res.WallCycles, res.Tasks, res.Instructions,
+			res.L2MPKI, res.PrefetchEfficiency,
+			res.Breakdown[0], res.Breakdown[1], res.Breakdown[2], res.Breakdown[3],
+			res.TimedOut)
+	}
+}
+
+// verifyDeterminism runs the grid twice, prints one line per
+// configuration, and exits non-zero if any pair of runs diverged.
+func verifyDeterminism(reqs []minnow.RunRequest, jobs int) {
+	reports, err := minnow.VerifyDeterminism(reqs, jobs)
+	if err != nil {
+		fail(err)
+	}
+	bad := 0
+	for i, rep := range reports {
+		cfg := reqs[i].Config
+		label := fmt.Sprintf("%s threads=%d sched=%s prefetch=%v credits=%d",
+			rep.Benchmark, cfg.Threads, rep.Scheduler, cfg.Prefetch, cfg.Credits)
+		if rep.OK() {
+			fmt.Printf("PASS %s hash=%s\n", label, rep.Hash[:16])
+			continue
+		}
+		bad++
+		fmt.Printf("FAIL %s\n", label)
+		for _, m := range rep.Mismatches {
+			fmt.Printf("     %s\n", m)
 		}
 	}
+	if bad > 0 {
+		fail(fmt.Errorf("sweep: %d of %d configurations nondeterministic", bad, len(reports)))
+	}
+	fmt.Printf("determinism verified: %d configurations, 2 runs each, zero mismatches\n", len(reports))
 }
 
 func fail(err error) {

@@ -53,21 +53,25 @@ func AblationSockets(f FigOptions) (*stats.Table, error) {
 		Headers: []string{"workload", "sockets-1", "sockets-2", "sockets-8"},
 	}
 	benches := []string{"SSSP", "CC"}
+	sockets := []int{1, 2, 8}
+	var jobs []Job
 	for _, name := range benches {
-		var walls []int64
-		for _, s := range []int{1, 2, 8} {
+		for _, s := range sockets {
 			o := f.base()
 			o.Sockets = s
-			r, err := runOrErr(name, o)
-			if err != nil {
-				return nil, err
-			}
-			walls = append(walls, r.WallCycles)
+			jobs = append(jobs, Job{Bench: name, Opts: o})
 		}
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range benches {
+		w := runs[i*len(sockets) : (i+1)*len(sockets)]
 		t.AddRow(name,
 			1.0,
-			float64(walls[0])/float64(walls[1]),
-			float64(walls[0])/float64(walls[2]))
+			float64(w[0].WallCycles)/float64(w[1].WallCycles),
+			float64(w[0].WallCycles)/float64(w[2].WallCycles))
 	}
 	return t, nil
 }
@@ -80,18 +84,28 @@ func AblationLocalQueue(f FigOptions) (*stats.Table, error) {
 		Title:   "Ablation: Minnow local queue depth (§5.1 default 64)",
 		Headers: []string{"depth", "sssp-cycles", "sssp-tasks", "cc-cycles", "cc-tasks"},
 	}
-	for _, depth := range []int{8, 16, 64, 256} {
-		row := []any{depth}
-		for _, name := range []string{"SSSP", "CC"} {
+	depths := []int{8, 16, 64, 256}
+	benches := []string{"SSSP", "CC"}
+	var jobs []Job
+	for _, depth := range depths {
+		for _, name := range benches {
 			o := f.base()
 			o.Scheduler = "minnow"
 			o.Prefetch = true
 			o.EngineLocalQ = depth
-			r, err := runOrErr(name, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, r.WallCycles, r.WorkItems)
+			jobs = append(jobs, Job{Bench: name, Opts: o})
+		}
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, depth := range depths {
+		row := []any{depth}
+		for range benches {
+			row = append(row, runs[k].WallCycles, runs[k].WorkItems)
+			k++
 		}
 		t.AddRow(row...)
 	}

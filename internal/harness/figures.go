@@ -16,6 +16,11 @@ type FigOptions struct {
 	Scale   int    // input scale (1 = laptop defaults)
 	Seed    uint64 // generator seed
 	Quick   bool   // trims sweeps for fast CI / benchmarks
+	// Jobs bounds the worker pool that fans a figure's independent
+	// configurations out across goroutines (0 = GOMAXPROCS, 1 = serial).
+	// Each simulation stays single-goroutine and results are consumed in
+	// submission order, so every figure is byte-identical for any Jobs.
+	Jobs int
 }
 
 // DefaultFigOptions mirrors the paper's 64-thread setup. Inputs run at
@@ -58,6 +63,20 @@ func runOrErr(bench string, o Options) (*stats.Run, error) {
 	return Run(spec, o)
 }
 
+// runAll fans one figure's independent configurations out over the worker
+// pool and returns their runs in submission order (first error wins).
+func (f FigOptions) runAll(jobs []Job) ([]*stats.Run, error) {
+	res := RunJobs(jobs, f.Jobs)
+	runs := make([]*stats.Run, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		runs[i] = r.Run
+	}
+	return runs, nil
+}
+
 // Table1 regenerates the graph-input inventory (paper Table 1) for our
 // synthetic equivalents.
 func Table1(f FigOptions) *stats.Table {
@@ -83,16 +102,20 @@ func Table2(f FigOptions) (*stats.Table, error) {
 		Title:   "Table 2: benchmark configuration (serial-baseline cycles)",
 		Headers: []string{"workload", "input", "serial-cycles", "tasks"},
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
 		o := f.base()
 		o.Threads = 1
 		o.Serial = true
-		r, err := runOrErr(name, o)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{Bench: name, Opts: o})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
 		spec, _ := kernels.SpecByName(name)
-		t.AddRow(name, spec.PaperInput, r.WallCycles, r.WorkItems)
+		t.AddRow(name, spec.PaperInput, runs[i].WallCycles, runs[i].WorkItems)
 	}
 	return t, nil
 }
@@ -280,11 +303,10 @@ func Fig4(f FigOptions) (*stats.Table, error) {
 		{"perfect-bp", true, false},
 		{"bp+nofence", true, true},
 	}
+	var jobs []Job
 	for _, name := range benches {
 		for _, m := range modes {
-			walls := make([]int64, len(robs))
-			var base int64
-			for i, rob := range robs {
+			for _, rob := range robs {
 				cfg := cpu.ScaledROB(rob)
 				cfg.PerfectBP = m.perfectBP
 				cfg.NoFences = m.noFences
@@ -294,14 +316,25 @@ func Fig4(f FigOptions) (*stats.Table, error) {
 				// PR's leftover sub-epsilon residuals around; the
 				// reference check is not meaningful here.
 				o.SkipVerify = true
-				r, err := runOrErr(name, o)
-				if err != nil {
-					return nil, err
-				}
-				walls[i] = r.WallCycles
+				jobs = append(jobs, Job{Bench: name, Opts: o})
+			}
+		}
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, name := range benches {
+		for _, m := range modes {
+			walls := make([]int64, len(robs))
+			var base int64
+			for i, rob := range robs {
+				walls[i] = runs[k].WallCycles
 				if rob == 256 {
-					base = r.WallCycles
+					base = runs[k].WallCycles
 				}
+				k++
 			}
 			row := []any{name, m.name}
 			for _, w := range walls {
@@ -321,12 +354,16 @@ func Fig5(f FigOptions) (*stats.Table, error) {
 		Title:   fmt.Sprintf("Fig 5: cycle breakdown at %d threads (software baseline)", f.Threads),
 		Headers: []string{"workload", "useful", "worklist", "load-miss", "store-miss"},
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
-		r, err := runOrErr(name, f.base())
-		if err != nil {
-			return nil, err
-		}
-		bd := r.Breakdown()
+		jobs = append(jobs, Job{Bench: name, Opts: f.base()})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
+		bd := runs[i].Breakdown()
 		t.AddRow(name, bd[0], bd[1], bd[2], bd[3])
 	}
 	return t, nil
@@ -338,14 +375,18 @@ func Fig6(f FigOptions) (*stats.Table, error) {
 		Title:   "Fig 6: delinquent load density (frequently-missing loads / all loads)",
 		Headers: []string{"workload", "density"},
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
 		o := f.base()
 		o.Threads = min(f.Threads, 8) // density is thread-count-insensitive
-		r, err := runOrErr(name, o)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name, r.DelinquentDensity())
+		jobs = append(jobs, Job{Bench: name, Opts: o})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
+		t.AddRow(name, runs[i].DelinquentDensity())
 	}
 	return t, nil
 }
@@ -357,17 +398,18 @@ func Fig11(f FigOptions) (*stats.Table, error) {
 		Title:   fmt.Sprintf("Fig 11: average cycles per worklist operation at %d threads", f.Threads),
 		Headers: []string{"workload", "galois-enq", "galois-deq", "minnow-enq", "minnow-deq"},
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
-		sw, err := runOrErr(name, f.base())
-		if err != nil {
-			return nil, err
-		}
 		om := f.base()
 		om.Scheduler = "minnow"
-		mn, err := runOrErr(name, om)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{Bench: name, Opts: f.base()}, Job{Bench: name, Opts: om})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
+		sw, mn := runs[2*i], runs[2*i+1]
 		t.AddRow(name, sw.AvgEnqCycles(), sw.AvgDeqCycles(), mn.AvgEnqCycles(), mn.AvgDeqCycles())
 	}
 	return t, nil
@@ -386,14 +428,32 @@ func Fig15(f FigOptions) (*stats.Table, error) {
 		threadSet = []int{1, 4, 8}
 		t.Headers = []string{"workload", "sched", "t1", "t4", "t8"}
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
 		oser := f.base()
 		oser.Threads = 1
 		oser.Serial = true
-		ser, err := runOrErr(name, oser)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, Job{Bench: name, Opts: oser})
+		for _, sched := range []string{"obim", "minnow"} {
+			for _, th := range threadSet {
+				if th > f.Threads {
+					continue
+				}
+				o := f.base()
+				o.Threads = th
+				o.Scheduler = sched
+				jobs = append(jobs, Job{Bench: name, Opts: o})
+			}
 		}
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, name := range f.benchNames() {
+		ser := runs[k]
+		k++
 		for _, sched := range []string{"obim", "minnow"} {
 			row := []any{name, sched}
 			for _, th := range threadSet {
@@ -401,14 +461,8 @@ func Fig15(f FigOptions) (*stats.Table, error) {
 					row = append(row, "-")
 					continue
 				}
-				o := f.base()
-				o.Threads = th
-				o.Scheduler = sched
-				r, err := runOrErr(name, o)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, float64(ser.WallCycles)/float64(r.WallCycles))
+				row = append(row, float64(ser.WallCycles)/float64(runs[k].WallCycles))
+				k++
 			}
 			t.AddRow(row...)
 		}
@@ -424,23 +478,24 @@ func Fig16(f FigOptions) (*stats.Table, error) {
 		Title:   fmt.Sprintf("Fig 16: Minnow speedup over software baseline at %d threads", f.Threads),
 		Headers: []string{"workload", "minnow", "minnow+prefetch"},
 	}
-	var noPF, withPF []float64
+	var jobs []Job
 	for _, name := range f.benchNames() {
-		base, err := runOrErr(name, f.base())
-		if err != nil {
-			return nil, err
-		}
 		om := f.base()
 		om.Scheduler = "minnow"
-		m0, err := runOrErr(name, om)
-		if err != nil {
-			return nil, err
-		}
-		om.Prefetch = true
-		m1, err := runOrErr(name, om)
-		if err != nil {
-			return nil, err
-		}
+		om1 := om
+		om1.Prefetch = true
+		jobs = append(jobs,
+			Job{Bench: name, Opts: f.base()},
+			Job{Bench: name, Opts: om},
+			Job{Bench: name, Opts: om1})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var noPF, withPF []float64
+	for i, name := range f.benchNames() {
+		base, m0, m1 := runs[3*i], runs[3*i+1], runs[3*i+2]
 		s0 := float64(base.WallCycles) / float64(m0.WallCycles)
 		s1 := float64(base.WallCycles) / float64(m1.WallCycles)
 		noPF = append(noPF, s0)
@@ -460,37 +515,33 @@ func Fig17(f FigOptions) (*stats.Table, error) {
 		Title:   fmt.Sprintf("Fig 17: prefetching speedup at %d threads vs Minnow-no-prefetch", threads),
 		Headers: []string{"workload", "stride", "imp", "worklist-directed"},
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
 		o := f.base()
 		o.Threads = threads
 		o.Scheduler = "minnow"
-		base, err := runOrErr(name, o)
-		if err != nil {
-			return nil, err
-		}
-		cell := func(hw string, wdp bool) (float64, error) {
+		variant := func(hw string, wdp bool) Options {
 			oo := o
 			oo.HWPrefetcher = hw
 			oo.Prefetch = wdp
-			r, err := runOrErr(name, oo)
-			if err != nil {
-				return 0, err
-			}
-			return float64(base.WallCycles) / float64(r.WallCycles), nil
+			return oo
 		}
-		st, err := cell("stride", false)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs,
+			Job{Bench: name, Opts: o},
+			Job{Bench: name, Opts: variant("stride", false)},
+			Job{Bench: name, Opts: variant("imp", false)},
+			Job{Bench: name, Opts: variant("", true)})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
+		base := runs[4*i]
+		speedup := func(r *stats.Run) float64 {
+			return float64(base.WallCycles) / float64(r.WallCycles)
 		}
-		imp, err := cell("imp", false)
-		if err != nil {
-			return nil, err
-		}
-		wdp, err := cell("", true)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name, st, imp, wdp)
+		t.AddRow(name, speedup(runs[4*i+1]), speedup(runs[4*i+2]), speedup(runs[4*i+3]))
 	}
 	return t, nil
 }
@@ -506,18 +557,26 @@ func (f FigOptions) creditSet() []int {
 // creditSweep runs the credit sweep once per benchmark, returning runs
 // keyed [bench][credit-index].
 func creditSweep(f FigOptions) (map[string][]*stats.Run, error) {
-	out := make(map[string][]*stats.Run)
+	var jobs []Job
 	for _, name := range f.benchNames() {
 		for _, cr := range f.creditSet() {
 			o := f.base()
 			o.Scheduler = "minnow"
 			o.Prefetch = true
 			o.Credits = cr
-			r, err := runOrErr(name, o)
-			if err != nil {
-				return nil, err
-			}
-			out[name] = append(out[name], r)
+			jobs = append(jobs, Job{Bench: name, Opts: o})
+		}
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]*stats.Run)
+	k := 0
+	for _, name := range f.benchNames() {
+		for range f.creditSet() {
+			out[name] = append(out[name], runs[k])
+			k++
 		}
 	}
 	return out, nil
@@ -544,16 +603,20 @@ func Fig19(f FigOptions) (*stats.Table, error) {
 		Title:   "Fig 19: prefetching speedup vs credits (normalized to prefetch disabled)",
 		Headers: creditHeaders(f, false),
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
 		o := f.base()
 		o.Scheduler = "minnow"
-		off, err := runOrErr(name, o)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{Bench: name, Opts: o})
+	}
+	offs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
 		row := []any{name}
 		for _, r := range runs[name] {
-			row = append(row, float64(off.WallCycles)/float64(r.WallCycles))
+			row = append(row, float64(offs[i].WallCycles)/float64(r.WallCycles))
 		}
 		t.AddRow(row...)
 	}
@@ -571,19 +634,23 @@ func Fig20(f FigOptions) (*stats.Table, error) {
 		Title:   "Fig 20: prefetch efficiency (used-before-eviction / fills)",
 		Headers: append(creditHeaders(f, false), "imp"),
 	}
+	var jobs []Job
 	for _, name := range f.benchNames() {
+		o := f.base()
+		o.Scheduler = "minnow"
+		o.HWPrefetcher = "imp"
+		jobs = append(jobs, Job{Bench: name, Opts: o})
+	}
+	impRuns, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
 		row := []any{name}
 		for _, r := range runs[name] {
 			row = append(row, r.L2.Efficiency())
 		}
-		o := f.base()
-		o.Scheduler = "minnow"
-		o.HWPrefetcher = "imp"
-		impRun, err := runOrErr(name, o)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, impRun.L2.Efficiency())
+		row = append(row, impRuns[i].L2.Efficiency())
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -602,16 +669,24 @@ func creditHeaders(f FigOptions, withOff bool) []string {
 
 func creditTable(f FigOptions, runs map[string][]*stats.Run, title string, metric func(*stats.Run) float64, withOff bool) (*stats.Table, error) {
 	t := &stats.Table{Title: title, Headers: creditHeaders(f, withOff)}
-	for _, name := range f.benchNames() {
-		row := []any{name}
-		if withOff {
+	var offs []*stats.Run
+	if withOff {
+		var jobs []Job
+		for _, name := range f.benchNames() {
 			o := f.base()
 			o.Scheduler = "minnow"
-			off, err := runOrErr(name, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, metric(off))
+			jobs = append(jobs, Job{Bench: name, Opts: o})
+		}
+		var err error
+		offs, err = f.runAll(jobs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, name := range f.benchNames() {
+		row := []any{name}
+		if withOff {
+			row = append(row, metric(offs[i]))
 		}
 		for _, r := range runs[name] {
 			row = append(row, metric(r))
@@ -633,23 +708,33 @@ func Fig21(f FigOptions) (*stats.Table, error) {
 	for _, ch := range channels {
 		t.Headers = append(t.Headers, fmt.Sprintf("ch%d", ch))
 	}
+	var jobs []Job
+	for _, name := range f.benchNames() {
+		for _, pf := range []bool{false, true} {
+			for _, ch := range channels {
+				o := f.base()
+				o.Scheduler = "minnow"
+				o.Prefetch = pf
+				o.MemChannels = ch
+				jobs = append(jobs, Job{Bench: name, Opts: o})
+			}
+		}
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, name := range f.benchNames() {
 		for _, pf := range []bool{false, true} {
 			var base int64
 			walls := make([]int64, len(channels))
 			for i, ch := range channels {
-				o := f.base()
-				o.Scheduler = "minnow"
-				o.Prefetch = pf
-				o.MemChannels = ch
-				r, err := runOrErr(name, o)
-				if err != nil {
-					return nil, err
-				}
-				walls[i] = r.WallCycles
+				walls[i] = runs[k].WallCycles
 				if ch == 12 {
-					base = r.WallCycles
+					base = runs[k].WallCycles
 				}
+				k++
 			}
 			row := []any{name, fmt.Sprintf("%v", pf)}
 			for _, w := range walls {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"minnow/internal/kernels"
+	"minnow/internal/stats"
 )
 
 // tiny trims the quick options further for unit-test latency.
@@ -33,6 +34,36 @@ func TestTable3RendersConfig(t *testing.T) {
 	for _, frag := range []string{"TAGE", "8-way", "mesh", "localQ"} {
 		if !strings.Contains(s, frag) {
 			t.Fatalf("table3 missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestFiguresJobsInvariant proves the worker pool does not change figure
+// output: the rendered table (and its CSV form) must be byte-identical
+// between a serial and a 4-wide parallel sweep.
+func TestFiguresJobsInvariant(t *testing.T) {
+	for _, fig := range []struct {
+		name string
+		fn   func(FigOptions) (*stats.Table, error)
+	}{
+		{"fig5", Fig5},
+		{"fig11", Fig11},
+	} {
+		f1 := tiny()
+		f1.Jobs = 1
+		serial, err := fig.fn(f1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f4 := tiny()
+		f4.Jobs = 4
+		parallel, err := fig.fn(f4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.CSV() != parallel.CSV() {
+			t.Errorf("%s differs between -jobs 1 and -jobs 4:\nserial:\n%s\nparallel:\n%s",
+				fig.name, serial.CSV(), parallel.CSV())
 		}
 	}
 }

@@ -213,6 +213,7 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	}
 
 	run := collect(spec.Name, o, cores, engines, msys, runner)
+	run.SimSteps = eng.Steps()
 	if len(engines) > 0 {
 		run.Trace = engines[0].Trace
 	}
@@ -253,12 +254,18 @@ func collect(name string, o Options, cores []*cpu.Core, engines []*core.Engine, 
 		Accesses:      msys.DemandL2Accesses,
 		Misses:        msys.DemandL2Misses,
 		Evictions:     l2.Evictions,
+		Writebacks:    l2.Writebacks,
 		PrefetchFills: l2.PrefetchFills,
 		PrefetchUsed:  l2.PrefetchUsed,
 		PrefetchWaste: l2.PrefetchWaste,
 	}
 	l3 := msys.L3Counters()
-	run.L3 = stats.CacheStats{Accesses: l3.Accesses, Misses: l3.Misses, Evictions: l3.Evictions}
+	run.L3 = stats.CacheStats{
+		Accesses:   l3.Accesses,
+		Misses:     l3.Misses,
+		Evictions:  l3.Evictions,
+		Writebacks: l3.Writebacks,
+	}
 	if msys.DemandCount > 0 {
 		run.AvgLoadLat = float64(msys.DemandLatencySum) / float64(msys.DemandCount)
 	}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"minnow/internal/kernels"
+	"minnow/internal/stats"
+)
+
+// Job names one simulated configuration for the parallel experiment
+// runner: a benchmark from the kernel registry plus its run options.
+type Job struct {
+	Bench string
+	Opts  Options
+}
+
+// JobResult pairs a finished job with its run or error, in the order the
+// jobs were submitted.
+type JobResult struct {
+	Job Job
+	Run *stats.Run
+	Err error
+}
+
+// Workers resolves a -jobs flag value: n<=0 means GOMAXPROCS (the number
+// of OS threads the runtime will actually schedule in parallel).
+func Workers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RunJobs executes the jobs across a worker pool of the given width
+// (0 = GOMAXPROCS) and returns results in submission order, so sweep
+// output is identical for every worker count. Each simulation remains a
+// single goroutine with its own address space, memory system, and RNG
+// streams — parallelism is only across independent configurations, and
+// per-run determinism is untouched. workers=1 degenerates to today's
+// serial loop.
+func RunJobs(jobs []Job, workers int) []JobResult {
+	workers = Workers(workers)
+	results := make([]JobResult, len(jobs))
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			results[i] = runJob(j)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func runJob(j Job) JobResult {
+	spec, err := kernels.SpecByName(j.Bench)
+	if err != nil {
+		return JobResult{Job: j, Err: err}
+	}
+	r, err := Run(spec, j.Opts)
+	return JobResult{Job: j, Run: r, Err: err}
+}
+
+// Mismatch records one summary field that differed between two runs of
+// the same configuration.
+type Mismatch struct {
+	Field string
+	A, B  string
+}
+
+func (m Mismatch) String() string { return fmt.Sprintf("%s: %s != %s", m.Field, m.A, m.B) }
+
+// DeterminismReport is the outcome of running one configuration twice.
+type DeterminismReport struct {
+	Job        Job
+	Mismatches []Mismatch
+	Hash       string // stats fingerprint of the first run
+}
+
+// OK reports whether the two runs were identical.
+func (r DeterminismReport) OK() bool { return len(r.Mismatches) == 0 }
+
+// VerifyDeterminism executes every job twice (all repeats fan out over
+// the same worker pool) and compares wall cycles, simulation step counts,
+// and a hash over the complete per-core/cache/engine statistics between
+// the pairs. It turns the sim package's "same configuration and seed,
+// same cycle counts" doc-comment guarantee into an executable check. A
+// non-nil error means a run failed outright; mismatches are reported per
+// job, not as errors.
+func VerifyDeterminism(jobs []Job, workers int) ([]DeterminismReport, error) {
+	doubled := make([]Job, 0, 2*len(jobs))
+	for _, j := range jobs {
+		doubled = append(doubled, j, j)
+	}
+	results := RunJobs(doubled, workers)
+	reports := make([]DeterminismReport, len(jobs))
+	for i := range jobs {
+		a, b := results[2*i], results[2*i+1]
+		if a.Err != nil {
+			return nil, fmt.Errorf("harness: determinism run 1 of %s/%s: %w", a.Job.Bench, a.Job.Opts.Scheduler, a.Err)
+		}
+		if b.Err != nil {
+			return nil, fmt.Errorf("harness: determinism run 2 of %s/%s: %w", b.Job.Bench, b.Job.Opts.Scheduler, b.Err)
+		}
+		reports[i] = compareRuns(jobs[i], a.Run, b.Run)
+	}
+	return reports, nil
+}
+
+// compareRuns diffs the deterministic summaries of two runs of one job.
+func compareRuns(j Job, a, b *stats.Run) DeterminismReport {
+	sa, sb := a.Summary(), b.Summary()
+	rep := DeterminismReport{Job: j, Hash: sa.Hash()}
+	diff := func(field string, va, vb any) {
+		if va != vb {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{
+				Field: field,
+				A:     fmt.Sprintf("%v", va),
+				B:     fmt.Sprintf("%v", vb),
+			})
+		}
+	}
+	diff("wall_cycles", sa.WallCycles, sb.WallCycles)
+	diff("sim_steps", sa.SimSteps, sb.SimSteps)
+	diff("work_items", sa.WorkItems, sb.WorkItems)
+	if ha, hb := sa.Hash(), sb.Hash(); ha != hb {
+		rep.Mismatches = append(rep.Mismatches, Mismatch{Field: "stats_hash", A: ha, B: hb})
+	}
+	return rep
+}

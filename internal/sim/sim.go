@@ -12,6 +12,17 @@
 // through data structures they mutate while running (which the min-time
 // ordering serializes), so a given configuration and seed always produces
 // identical cycle counts.
+//
+// Wake-during-step contract: an actor's Step may call Engine.Wake for any
+// actor, including wakes that schedule a dormant actor ahead of everything
+// currently queued. Run tracks the stepping actor by its heap index, so a
+// nested Wake that displaces it from the heap root is honored exactly: the
+// woken actor runs at its requested (clamped) time, the stepping actor is
+// removed or rescheduled at its own position, and no wakeup is lost. A
+// self-wake during a step is a no-op on ordering (the stepping actor's
+// queued time is already <= the frontier, and Wake never delays an entry);
+// an actor that returns done is retired regardless and must be re-armed by
+// a Wake issued after its step returns.
 package sim
 
 import "container/heap"
@@ -132,16 +143,26 @@ func (e *Engine) Run(maxSteps int64) (Time, bool) {
 			e.now = ent.at
 		}
 		e.steps++
+		// Step may call Wake, which can push or re-sift entries and
+		// displace ent from the root; track ent by its heap index (kept
+		// current by actorHeap.Swap) rather than assuming it is still at
+		// index 0.
 		next, done := ent.actor.Step()
 		if done {
-			heap.Pop(&e.heap)
+			if ent.index >= 0 {
+				heap.Remove(&e.heap, ent.index)
+			}
 			continue
 		}
 		if next < e.now {
 			next = e.now
 		}
 		ent.at = next
-		heap.Fix(&e.heap, 0)
+		if ent.index >= 0 {
+			heap.Fix(&e.heap, ent.index)
+		} else {
+			heap.Push(&e.heap, ent)
+		}
 	}
 	return e.now, true
 }

@@ -77,6 +77,7 @@ type CacheStats struct {
 	Accesses      int64
 	Misses        int64
 	Evictions     int64
+	Writebacks    int64 // dirty lines written back on eviction
 	PrefetchFills int64 // lines installed by a prefetcher
 	PrefetchUsed  int64 // prefetched lines touched by demand before eviction
 	PrefetchWaste int64 // prefetched lines evicted untouched
@@ -113,6 +114,7 @@ type Run struct {
 	Name       string
 	Threads    int
 	WallCycles int64 // end-to-end simulated cycles
+	SimSteps   int64 // discrete-event actor steps executed by the scheduler
 	TimedOut   bool  // hit the work budget (Fig. 3 "timed out" bars)
 
 	Cores   []CoreStats
@@ -311,20 +313,23 @@ func (t *Table) CSV() string {
 }
 
 // GeoMean returns the geometric mean of positive values; zero or negative
-// inputs are skipped. Returns 0 for an empty input.
+// inputs are skipped. Returns 0 for an empty input. The mean is computed
+// as exp(mean(log v)) rather than as an n-th root of the running product,
+// which over/underflows float64 once a large sweep accumulates a few
+// hundred values far from 1.
 func GeoMean(vals []float64) float64 {
-	prod := 1.0
+	sum := 0.0
 	n := 0
 	for _, v := range vals {
 		if v > 0 {
-			prod *= v
+			sum += math.Log(v)
 			n++
 		}
 	}
 	if n == 0 {
 		return 0
 	}
-	return math.Pow(prod, 1/float64(n))
+	return math.Exp(sum / float64(n))
 }
 
 // Histogram is a simple fixed-bucket histogram used for degree and latency

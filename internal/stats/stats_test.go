@@ -140,6 +140,63 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+// TestGeoMeanExtremeRange is the overflow regression: a large campaign of
+// values far from 1 must not saturate the running aggregate. A raw
+// product over 10k values around 1e±150 over/underflows float64 after a
+// handful of elements; the log-sum form stays exact.
+func TestGeoMeanExtremeRange(t *testing.T) {
+	// Alternating 1e150 and 1e-150: geomean is exactly 1.
+	vals := make([]float64, 10000)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = 1e150
+		} else {
+			vals[i] = 1e-150
+		}
+	}
+	if g := GeoMean(vals); math.Abs(g-1) > 1e-9 {
+		t.Fatalf("balanced extreme geomean %v, want 1", g)
+	}
+	// All-huge: product overflows to +Inf immediately, but the geomean of
+	// ten thousand copies of 1e150 is 1e150.
+	for i := range vals {
+		vals[i] = 1e150
+	}
+	if g := GeoMean(vals); math.IsInf(g, 0) || math.Abs(g/1e150-1) > 1e-9 {
+		t.Fatalf("huge geomean %v, want 1e150", g)
+	}
+	// All-tiny: product underflows to 0.
+	for i := range vals {
+		vals[i] = 1e-150
+	}
+	if g := GeoMean(vals); g == 0 || math.Abs(g/1e-150-1) > 1e-9 {
+		t.Fatalf("tiny geomean %v, want 1e-150", g)
+	}
+}
+
+func TestRunSummaryHash(t *testing.T) {
+	mk := func() *Run {
+		r := &Run{Name: "SSSP", Threads: 2, WallCycles: 12345, SimSteps: 678, WorkItems: 42}
+		r.Cores = []CoreStats{{Instrs: 100, Loads: 40}, {Instrs: 90, Loads: 33}}
+		r.L2 = CacheStats{Accesses: 10, Misses: 3, Writebacks: 2}
+		r.Engines = []EngineStats{{Prefetches: 7}}
+		return r
+	}
+	a, b := mk(), mk()
+	if a.Summary().Hash() != b.Summary().Hash() {
+		t.Fatal("identical runs hash differently")
+	}
+	b.Cores[1].Loads++
+	if a.Summary().Hash() == b.Summary().Hash() {
+		t.Fatal("per-core stat change not reflected in hash")
+	}
+	c := mk()
+	c.L2.Writebacks++
+	if a.Summary().Hash() == c.Summary().Hash() {
+		t.Fatal("writeback change not reflected in hash")
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(10, 1, 100) // unsorted on purpose
 	for _, v := range []int64{0, 1, 5, 10, 50, 100, 1000} {

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// RunSummary is the JSON-serializable deterministic digest of a Run: every
+// counter the simulator guarantees to reproduce for a given configuration
+// and seed, and nothing else (the event trace is excluded — it is a
+// bounded ring buffer whose contents depend on its configured depth, not
+// on the simulated execution alone). Two runs of the same configuration
+// must produce byte-identical summaries; VerifyDeterminism and the -race
+// harness tests compare them.
+type RunSummary struct {
+	Name       string `json:"name"`
+	Threads    int    `json:"threads"`
+	WallCycles int64  `json:"wall_cycles"`
+	SimSteps   int64  `json:"sim_steps"`
+	TimedOut   bool   `json:"timed_out"`
+
+	Cores   []CoreStats   `json:"cores"`
+	L2      CacheStats    `json:"l2"`
+	L3      CacheStats    `json:"l3"`
+	Engines []EngineStats `json:"engines,omitempty"`
+
+	WorkItems   int64    `json:"work_items"`
+	DRAMReads   int64    `json:"dram_reads"`
+	DRAMRows    int64    `json:"dram_rows"`
+	InvMsgs     int64    `json:"inv_msgs"`
+	DRAMStall   int64    `json:"dram_stall"`
+	NoCStall    int64    `json:"noc_stall"`
+	AvgLoadLat  float64  `json:"avg_load_lat"`
+	DirtyRemote int64    `json:"dirty_remote"`
+	LatByLevel  [5]int64 `json:"lat_by_level"`
+	CntByLevel  [5]int64 `json:"cnt_by_level"`
+
+	WastePFEvict     int64 `json:"waste_pf_evict"`
+	WasteDemandEvict int64 `json:"waste_demand_evict"`
+	WasteInval       int64 `json:"waste_inval"`
+	L1Shielded       int64 `json:"l1_shielded"`
+}
+
+// Summary extracts the deterministic portion of the run for cross-run
+// comparison and serialization.
+func (r *Run) Summary() RunSummary {
+	return RunSummary{
+		Name:       r.Name,
+		Threads:    r.Threads,
+		WallCycles: r.WallCycles,
+		SimSteps:   r.SimSteps,
+		TimedOut:   r.TimedOut,
+
+		Cores:   r.Cores,
+		L2:      r.L2,
+		L3:      r.L3,
+		Engines: r.Engines,
+
+		WorkItems:   r.WorkItems,
+		DRAMReads:   r.DRAMReads,
+		DRAMRows:    r.DRAMRows,
+		InvMsgs:     r.InvMsgs,
+		DRAMStall:   r.DRAMStall,
+		NoCStall:    r.NoCStall,
+		AvgLoadLat:  r.AvgLoadLat,
+		DirtyRemote: r.DirtyRemote,
+		LatByLevel:  r.LatByLevel,
+		CntByLevel:  r.CntByLevel,
+
+		WastePFEvict:     r.WastePFEvict,
+		WasteDemandEvict: r.WasteDemandEvict,
+		WasteInval:       r.WasteInval,
+		L1Shielded:       r.L1Shielded,
+	}
+}
+
+// JSON renders the summary in canonical form (encoding/json emits struct
+// fields in declaration order, so equal summaries marshal identically).
+func (s RunSummary) JSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Only unsupported types can fail here, and the summary has none.
+		panic("stats: summary marshal: " + err.Error())
+	}
+	return b
+}
+
+// Hash returns a stable hex digest of the summary's canonical JSON, the
+// per-core-stats fingerprint the determinism checker compares across
+// repeated runs.
+func (s RunSummary) Hash() string {
+	sum := sha256.Sum256(s.JSON())
+	return hex.EncodeToString(sum[:])
+}

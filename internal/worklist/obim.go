@@ -44,7 +44,6 @@ type obimSocket struct {
 	mapAddr uint64
 	buckets map[int64][]*chunk
 	minB    int64
-	dirty   bool // minB needs recompute
 }
 
 // NewOBIM builds an OBIM worklist. lgInterval is the log2 bucket interval
@@ -95,10 +94,7 @@ func (o *OBIM) socketOf(tid int) *obimSocket {
 }
 
 func (o *OBIM) bucketOf(priority int64) int64 {
-	if priority < 0 {
-		// Arithmetic shift keeps negative priorities ordered.
-		return priority >> o.lgInterval
-	}
+	// Arithmetic shift keeps negative priorities ordered.
 	return priority >> o.lgInterval
 }
 
@@ -213,10 +209,16 @@ func (o *OBIM) Pop(ctx *Ctx) (Task, bool) {
 		// work appears anywhere, the stale pop chunk goes back to its
 		// bucket and the thread rebinds to the lowest level. The check
 		// is rate-limited (every 4th pop) — per-pop rebinding causes
-		// chunk-bounce storms under delta-stepping's bucket churn.
+		// chunk-bounce storms under delta-stepping's bucket churn — so
+		// both the level-line load and the min-bucket bookkeeping are
+		// only performed on the pops that may actually rebind.
 		o.popCnt[tid]++
-		ctx.TR.Load(o.lvlAddr, false, false)
-		if gm := o.globalMin(); gm < o.popBkt[tid] && o.popCnt[tid]%4 == 0 {
+		rebind := false
+		if o.popCnt[tid]%4 == 0 {
+			ctx.TR.Load(o.lvlAddr, false, false)
+			rebind = o.globalMin() < o.popBkt[tid]
+		}
+		if rebind {
 			o.Rebinds++
 			s := o.socketOf(tid)
 			s.lock.acquire(ctx)

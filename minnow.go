@@ -280,6 +280,10 @@ type FigureOptions struct {
 	Scale   int    // default 1
 	Seed    uint64 // default 42
 	Quick   bool   // trimmed sweeps
+	// Jobs bounds the worker pool that runs a figure's independent
+	// configurations concurrently (0 = all CPUs, 1 = serial). Output is
+	// byte-identical for every value.
+	Jobs int
 }
 
 func (f FigureOptions) toFig() harness.FigOptions {
@@ -294,6 +298,7 @@ func (f FigureOptions) toFig() harness.FigOptions {
 		o.Seed = f.Seed
 	}
 	o.Quick = f.Quick
+	o.Jobs = f.Jobs
 	return o
 }
 
