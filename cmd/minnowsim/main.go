@@ -37,6 +37,9 @@ func main() {
 		graphIn  = flag.String("graph", "", "run on a saved binary CSR graph (see graphgen -save)")
 		source   = flag.Int("source", 0, "source node for SSSP/BFS/G500 with -graph")
 		verify   = flag.Bool("verify-determinism", false, "run the configuration twice and compare results")
+		timeline = flag.String("timeline", "", "write a Chrome-trace/Perfetto timeline JSON to this file")
+		every    = flag.Int64("metrics-every", 0, "sample time-series metrics every N simulated cycles")
+		metrics  = flag.String("metrics", "metrics.csv", "interval-metrics CSV path (with -metrics-every)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,8 @@ func main() {
 		Serial:         *serial,
 		WorkBudget:     *budget,
 		TraceEvents:    *traceN,
+		MetricsEvery:   *every,
+		Timeline:       *timeline != "",
 	}
 	if *serial {
 		cfg.Threads = 1
@@ -119,6 +124,20 @@ func main() {
 	}
 	if res.TimedOut {
 		fmt.Println("NOTE: run exceeded its work budget (timed out)")
+	}
+	if *timeline != "" {
+		if werr := os.WriteFile(*timeline, res.TimelineJSON, 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline         %s (%d bytes; load at ui.perfetto.dev)\n", *timeline, len(res.TimelineJSON))
+	}
+	if *every > 0 {
+		if werr := os.WriteFile(*metrics, []byte(res.IntervalCSV), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("interval metrics %s (%d-cycle intervals)\n", *metrics, *every)
 	}
 	if res.TraceText != "" {
 		fmt.Println()

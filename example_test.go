@@ -3,6 +3,7 @@ package minnow_test
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"minnow"
 )
@@ -50,6 +51,33 @@ func ExampleConfig_customPrefetch() {
 	fmt.Println("prefetches issued:", res.EnginePrefetches > 0)
 	// Output:
 	// prefetches issued: true
+}
+
+// ExampleRunMany sweeps two schedulers in parallel with interval metrics
+// sampling on, then reports each run's time-series shape. Observability
+// never perturbs timing, and each run's artifacts are private, so the
+// sweep is byte-identical for any worker-pool width.
+func ExampleRunMany() {
+	cfg := minnow.Config{Threads: 4, Seed: 42, MetricsEvery: 50_000}
+	accel := cfg
+	accel.Minnow = true
+	accel.Prefetch = true
+
+	results := minnow.RunMany([]minnow.RunRequest{
+		{Benchmark: "SSSP", Config: cfg},
+		{Benchmark: "SSSP", Config: accel},
+	}, 2)
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		lines := strings.Count(r.Result.IntervalCSV, "\n")
+		fmt.Printf("minnow=%v sampled intervals: %v\n",
+			r.Request.Config.Minnow, lines > 1)
+	}
+	// Output:
+	// minnow=false sampled intervals: true
+	// minnow=true sampled intervals: true
 }
 
 // ExampleBenchmarks lists the paper's Table-2 workloads.

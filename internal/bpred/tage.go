@@ -7,6 +7,11 @@
 // outcomes their algorithm produces (e.g. "newDist < dist[dst]"), so the
 // mispredict rates the core model sees come from genuinely hard-to-predict
 // graph-dependent branches rather than a fixed probability.
+//
+// Determinism contract: prediction is a pure function of the predictor's
+// tables and the branch history fed to it — no randomness, no wall-clock
+// input — so identical branch streams always produce identical mispredict
+// sequences.
 package bpred
 
 // Predictor is the TAGE predictor. The zero value is not usable; call New.

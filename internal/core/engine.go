@@ -23,10 +23,17 @@
 // (local queue, prefetch streams) per attached core and multiplexes the
 // single back-end across them (see NewSharedEngine and the
 // shared-engines ablation).
+//
+// Determinism contract: the engine interacts with the rest of the system
+// only through timestamped memory accesses and the wake callback, so its
+// spill/fill/prefetch schedule reproduces exactly for a given run. The
+// optional Trace ring buffer and the obs timeline hooks (TL/Track) record
+// those events as they are timed and never feed back into them.
 package core
 
 import (
 	"minnow/internal/mem"
+	"minnow/internal/obs"
 	"minnow/internal/sim"
 	"minnow/internal/stats"
 	"minnow/internal/trace"
@@ -128,6 +135,11 @@ type Engine struct {
 	// Trace, when non-nil, records engine events (minnowsim -trace).
 	Trace *trace.Buffer
 
+	// TL, when non-nil, receives threadlet spans and stall instants on
+	// Track (timeline observability; set by the harness).
+	TL    *obs.Timeline
+	Track obs.TrackID
+
 	Stat stats.EngineStats
 }
 
@@ -192,6 +204,18 @@ func (e *Engine) Cores() []int {
 
 // LocalLen returns the primary core's local queue depth (tests).
 func (e *Engine) LocalLen() int { return len(e.fes[0].localQ) }
+
+// QueuedTasks returns the tasks resident in this engine: local queues
+// plus the spill queue awaiting threadlets. Zero-cost bookkeeping the
+// observability sampler adds to the global worklist length for the
+// paper's occupancy-over-time curves.
+func (e *Engine) QueuedTasks() int64 {
+	n := int64(len(e.spillQ))
+	for _, fe := range e.fes {
+		n += int64(len(fe.localQ))
+	}
+	return n
+}
 
 // bucketOf discretizes a task priority (Fig. 12: priority >> lgBucketInt).
 func (e *Engine) bucketOf(p int64) int64 { return p >> e.cfg.LgInterval }
@@ -470,11 +494,13 @@ func (e *Engine) spillOnce() {
 	if n > e.cfg.SpillBatch {
 		n = e.cfg.SpillBatch
 	}
+	start := e.clock
 	e.clock = e.gwl.SpillBatch(e, e.spillQ[:n], e.clock)
 	e.spillQ = append(e.spillQ[:0], e.spillQ[n:]...)
 	e.Stat.Spills += int64(n)
 	e.Stat.Threadlets++
 	e.Trace.Emit(e.clock, e.CoreID, e.CoreID, trace.EvSpill, int64(n))
+	e.TL.Span(e.Track, obs.EvSpill, start, e.clock, int64(n))
 }
 
 // drainSpills empties the spill queue.
@@ -494,9 +520,11 @@ func (e *Engine) runFill(fe *frontEnd) {
 	if want <= 0 {
 		return
 	}
+	start := e.clock
 	tasks, done := e.gwl.Fill(e, want, e.clock)
 	e.clock = done
 	e.Trace.Emit(done, e.CoreID, fe.coreID, trace.EvFill, int64(len(tasks)))
+	e.TL.Span(e.Track, obs.EvFill, start, done, int64(len(tasks)))
 	for _, t := range tasks {
 		b := e.bucketOf(t.Priority)
 		// "If tasks at the head of the global worklist are of equal or
@@ -568,6 +596,7 @@ func (e *Engine) stepPrefetch(fe *frontEnd) bool {
 			fe.streams = fe.streams[1:]
 			e.Stat.LateDrops++
 			e.Trace.Emit(e.clock, e.CoreID, fe.coreID, trace.EvStreamDrop, st.seq)
+			e.TL.Instant(e.Track, obs.EvStreamDrop, e.clock, st.seq)
 			continue
 		}
 		break
@@ -581,6 +610,7 @@ func (e *Engine) stepPrefetch(fe *frontEnd) bool {
 		// (OnCredit wakes us).
 		e.Stat.CreditStalls++
 		e.Trace.Emit(e.clock, e.CoreID, fe.coreID, trace.EvCreditStall, 0)
+		e.TL.Instant(e.Track, obs.EvCreditStall, e.clock, 0)
 		return false
 	}
 	var ok bool
@@ -593,6 +623,7 @@ func (e *Engine) stepPrefetch(fe *frontEnd) bool {
 	st.started = true
 	e.Stat.Threadlets++
 	e.Trace.Emit(e.clock, e.CoreID, fe.coreID, trace.EvPrefetch, int64(len(st.buf)))
+	pfStart := e.clock
 	var prevDone sim.Time
 	for i, addr := range st.buf {
 		if i > 0 && prevDone > e.clock {
@@ -614,6 +645,7 @@ func (e *Engine) stepPrefetch(fe *frontEnd) bool {
 			}
 		}
 	}
+	e.TL.Span(e.Track, obs.EvPrefetch, pfStart, e.clock, int64(len(st.buf)))
 	return true
 }
 

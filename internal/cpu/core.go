@@ -8,11 +8,18 @@
 // cycle, complete out of order (loads through the simulated memory
 // hierarchy), and retire in order through a ROB-sized ring. Retire-time
 // gaps are attributed to cycle categories for the Fig. 5 breakdown.
+//
+// Determinism contract: a core's timing depends only on the micro-op
+// stream it is fed and the memory system's (deterministic) responses;
+// the core holds no randomness of its own beyond the TAGE predictor's
+// deterministic tables. The optional observability hooks (TL/Track)
+// observe retire-time stalls and never feed back into timing.
 package cpu
 
 import (
 	"minnow/internal/bpred"
 	"minnow/internal/mem"
+	"minnow/internal/obs"
 	"minnow/internal/sim"
 	"minnow/internal/stats"
 	"minnow/internal/uops"
@@ -77,6 +84,11 @@ type Core struct {
 	// Prefetcher, when non-nil, snoops demand loads.
 	Prefetcher Prefetcher
 
+	// TL, when non-nil, receives stall instants on Track (timeline
+	// observability; set by the harness together with Track).
+	TL    *obs.Timeline
+	Track obs.TrackID
+
 	now sim.Time
 
 	// In-order retire ring: retireAt[i%ROB] is the retire time of the
@@ -129,6 +141,11 @@ func (c *Core) Config() Config { return c.cfg }
 
 // Mem exposes the shared memory system.
 func (c *Core) Mem() *mem.System { return c.mem }
+
+// stallInstantMin is the smallest retire-time gap worth an EvStall*
+// timeline instant; shorter gaps are pipeline noise that would swamp the
+// trace without explaining anything.
+const stallInstantMin = 48
 
 // windowSlot reserves a slot in a completion-time ring of the given
 // capacity: the new op may not issue before the op `cap` positions back
@@ -290,6 +307,14 @@ func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
 			// One issue-slot's worth of time is "useful" front-end
 			// progress; the remainder is stall attributed to the op.
 			c.Stat.Cycles[stallCat] += gap
+			if c.TL != nil && gap >= stallInstantMin {
+				switch stallCat {
+				case stats.CatLoadMiss:
+					c.TL.Instant(c.Track, obs.EvStallLoad, base, gap)
+				case stats.CatStoreMiss:
+					c.TL.Instant(c.Track, obs.EvStallStore, base, gap)
+				}
+			}
 		}
 		c.retireAt[c.seq%int64(len(c.retireAt))] = retire
 		c.seq++

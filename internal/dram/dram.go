@@ -6,6 +6,12 @@
 // At 2.5 GHz core clock, one DDR4-2400 channel moves a 64B line in
 // ~3.3 ns ≈ 8 core cycles, and CL17 plus controller overhead lands the
 // idle-latency around 120 core cycles; those are the defaults.
+//
+// Determinism contract: channel selection hashes the line address and
+// service times depend only on prior reservations, so a given access
+// sequence always produces identical latencies. BusyChannels is the
+// read-only occupancy view the observability probes sample; it never
+// mutates reservation state.
 package dram
 
 import "minnow/internal/sim"
@@ -71,6 +77,20 @@ func (m *Memory) Access(lineAddr uint64, t sim.Time) sim.Time {
 		m.nextFree[ch] = start + m.cfg.ServiceCycles
 	}
 	return start + m.cfg.LatencyCycles
+}
+
+// BusyChannels returns how many channels hold a service reservation
+// extending past `now` — the instantaneous queue-occupancy gauge the
+// observability sampler reads. Read-only: sampling it never perturbs
+// timing.
+func (m *Memory) BusyChannels(now sim.Time) int64 {
+	var n int64
+	for _, f := range m.nextFree {
+		if f > now {
+			n++
+		}
+	}
+	return n
 }
 
 // Reset clears reservations and counters.

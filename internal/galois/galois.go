@@ -13,10 +13,16 @@
 // socket-sharded OBIM is configured at worklist construction, and *task
 // splitting* (breaking nodes with more than SplitThreshold edges into
 // edge-range subtasks) lives in Worker.Push.
+//
+// Determinism contract: a worker's behaviour depends only on its core's
+// clock and the scheduler's (deterministic) pop order; the per-task
+// timeline spans a Worker emits when TL is set observe the task boundary
+// and never change it.
 package galois
 
 import (
 	"minnow/internal/cpu"
+	"minnow/internal/obs"
 	"minnow/internal/sim"
 	"minnow/internal/stats"
 	"minnow/internal/uops"
@@ -84,6 +90,11 @@ type Worker struct {
 	// Degrees lets Push split tasks; kernels set it to the graph's
 	// degree function.
 	Degrees func(node int32) int32
+	// TL, when non-nil, receives one EvTask span per operator application
+	// on Track (timeline observability; set by the harness together with
+	// the core's stall hooks).
+	TL    *obs.Timeline
+	Track obs.TrackID
 	// EdgeLimit overrides the split subtask size (defaults to
 	// SplitThreshold).
 	pushBuf []worklist.Task
@@ -205,8 +216,10 @@ func (w *Worker) Step() (sim.Time, bool) {
 	}
 	r.applied++
 	st.TasksRun++
+	taskStart := w.Core.Now()
 	r.op.Apply(w, t)
 	w.FlushUseful()
+	w.TL.Span(w.Track, obs.EvTask, taskStart, w.Core.Now(), int64(t.Node))
 	r.outstanding--
 	if r.cfg.WorkBudget > 0 && r.applied >= r.cfg.WorkBudget {
 		r.timedOut = true

@@ -3,6 +3,11 @@
 // cache model times (§6.2: standard CSR, 32B nodes — 64B for TC — and 16B
 // edges), and generators producing synthetic equivalents of the paper's
 // Table-1 inputs.
+//
+// Determinism contract: every generator is a pure function of (scale,
+// seed) through the rng package's fixed algorithms, so two builds of the
+// same input are identical graphs at identical simulated addresses — the
+// foundation of the simulator's reproducible cycle counts.
 package graph
 
 import (

@@ -12,6 +12,10 @@
 // high-diameter graphs, which is the Fig. 2/3 story. GMatStarSSSP is the
 // authors' per-bucket delta-stepping retrofit ("GMat*"), which runs one
 // full kernel per priority bucket.
+//
+// Determinism contract: the BSP sweeps process frontiers in ascending node
+// order on a fixed core rotation, so a given configuration and seed always
+// reproduces the same iteration counts and cycle totals.
 package graphmat
 
 import (

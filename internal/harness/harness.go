@@ -1,6 +1,3 @@
-// Package harness assembles full simulated systems (memory hierarchy,
-// cores, schedulers, Minnow engines) and runs benchmarks, producing the
-// statistics every figure and table of the paper is derived from.
 package harness
 
 import (
@@ -73,6 +70,14 @@ type Options struct {
 	// TraceEvents, when positive, records the last N Minnow engine
 	// events into Run.Trace (Scheduler "minnow" only).
 	TraceEvents int
+
+	// MetricsEvery, when positive, samples the time-series metrics
+	// registry every MetricsEvery simulated cycles into Run.Intervals.
+	MetricsEvery int64
+	// Timeline, when true, records a full-system event timeline into
+	// Run.Timeline (render with Timeline.Perfetto). Off by default; like
+	// MetricsEvery it observes only and never perturbs the simulation.
+	Timeline bool
 }
 
 // withDefaults fills zero values.
@@ -125,9 +130,10 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	// Scheduler.
 	var sched galois.Scheduler
 	var engines []*core.Engine
+	var gwl *core.GlobalWL
 	switch o.Scheduler {
 	case "minnow":
-		gwl := core.NewGlobalWL(as, o.Threads, o.Sockets)
+		gwl = core.NewGlobalWL(as, o.Threads, o.Sockets)
 		ecfg := core.DefaultConfig()
 		ecfg.LgInterval = o.LgInterval
 		ecfg.Credits = o.Credits
@@ -182,6 +188,10 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	default:
 		return nil, fmt.Errorf("harness: unknown scheduler %q", o.Scheduler)
 	}
+	var swWL worklist.Worklist
+	if sw, ok := sched.(*galois.SWScheduler); ok {
+		swWL = sw.WL
+	}
 
 	attachHWPrefetchers(o, cores, msys, kern.Graph())
 
@@ -193,8 +203,11 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	}
 	runner := galois.NewRunner(cfg, cores, sched, kern, kern.Graph().Degree)
 
+	ob := buildObserver(o, cores, runner.Workers(), engines, gwl, swWL, msys)
+
 	// Simulation: workers and engines are actors.
 	eng := sim.NewEngine()
+	ob.install(eng, engines, gwl, swWL, msys)
 	for _, w := range runner.Workers() {
 		id := eng.Register(w)
 		eng.Wake(id, 0)
@@ -217,6 +230,13 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	if len(engines) > 0 {
 		run.Trace = engines[0].Trace
 	}
+	if ob.reg != nil {
+		// Close out the partial last interval so tail activity is not
+		// silently dropped (the boundary probe only fires on crossings).
+		ob.reg.Flush(sim.Time(run.WallCycles))
+		run.Intervals = ob.reg
+	}
+	run.Timeline = ob.tl
 
 	if !o.SkipVerify && !run.TimedOut {
 		if err := kern.Verify(); err != nil {

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minnow/internal/kernels"
+	"minnow/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// obsOpts is the reference configuration the observability tests pin:
+// small, Minnow with prefetching (so every track and column is live).
+func obsOpts() Options {
+	o := small(2)
+	o.Scheduler = "minnow"
+	o.Prefetch = true
+	return o
+}
+
+func TestObservabilityInvisible(t *testing.T) {
+	// The load-bearing contract: turning on the timeline and the metrics
+	// registry must not change ANY deterministic output — same summary
+	// hash, same wall cycles, same event-loop step count.
+	spec, err := kernels.SpecByName("SSSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(spec, obsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obsOpts()
+	o.Timeline = true
+	o.MetricsEvery = 10_000
+	observed, err := Run(spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.WallCycles != plain.WallCycles {
+		t.Fatalf("wall cycles %d with obs, %d without", observed.WallCycles, plain.WallCycles)
+	}
+	if observed.SimSteps != plain.SimSteps {
+		t.Fatalf("sim steps %d with obs, %d without", observed.SimSteps, plain.SimSteps)
+	}
+	if a, b := observed.Summary().Hash(), plain.Summary().Hash(); a != b {
+		t.Fatalf("summary hash changed with observability on:\n  with    %s\n  without %s", a, b)
+	}
+	if observed.Timeline.Len() == 0 {
+		t.Fatal("timeline collected no events")
+	}
+	if observed.Intervals.Len() == 0 {
+		t.Fatal("registry collected no rows")
+	}
+}
+
+func TestObservabilityStableAcrossJobs(t *testing.T) {
+	// The timeline and interval CSV are per-run private state; running the
+	// same configuration through worker pools of different widths must
+	// yield byte-identical artifacts.
+	o := obsOpts()
+	o.Timeline = true
+	o.MetricsEvery = 10_000
+	jobs := []Job{
+		{Bench: "SSSP", Opts: o},
+		{Bench: "CC", Opts: o},
+		{Bench: "SSSP", Opts: o},
+	}
+	serial := RunJobs(jobs, 1)
+	wide := RunJobs(jobs, 3)
+	for i := range jobs {
+		if serial[i].Err != nil || wide[i].Err != nil {
+			t.Fatalf("job %d: %v / %v", i, serial[i].Err, wide[i].Err)
+		}
+		a := serial[i].Run.Timeline.Perfetto()
+		b := wide[i].Run.Timeline.Perfetto()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("job %d timeline differs between -jobs 1 and -jobs 3", i)
+		}
+		if serial[i].Run.Intervals.CSV() != wide[i].Run.Intervals.CSV() {
+			t.Fatalf("job %d interval CSV differs between -jobs 1 and -jobs 3", i)
+		}
+	}
+}
+
+func TestTimelineGolden(t *testing.T) {
+	// Golden-file pin: the Perfetto export for a fixed tiny configuration
+	// is valid JSON and byte-stable across refactors. Regenerate with
+	// `go test ./internal/harness -run TimelineGolden -update` and eyeball
+	// the diff (and ideally load it at ui.perfetto.dev) before committing.
+	spec, err := kernels.SpecByName("SSSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obsOpts()
+	o.Timeline = true
+	o.WorkBudget = 60 // keep the golden file reviewable
+	o.SkipVerify = true
+	run, err := Run(spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run.Timeline.Perfetto()
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+
+	path := filepath.Join("testdata", "timeline.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("timeline drifted from golden file (len %d vs %d); rerun with -update and review",
+			len(got), len(want))
+	}
+}
+
+func TestIntervalColumnsMinnow(t *testing.T) {
+	// The Minnow configuration exposes the engine columns; a software run
+	// must not (no engines exist to read).
+	spec, err := kernels.SpecByName("SSSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obsOpts()
+	o.MetricsEvery = 10_000
+	run, err := Run(spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.Join(run.Intervals.Header(), ",")
+	for _, col := range []string{"occupancy", "l2_mpki", "credits", "pf_late_drops", "ipc0", "ipc1"} {
+		if !strings.Contains(head, col) {
+			t.Fatalf("minnow header %q missing %q", head, col)
+		}
+	}
+	sw := small(2)
+	sw.MetricsEvery = 10_000
+	swRun, err := Run(spec, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := strings.Join(swRun.Intervals.Header(), ","); strings.Contains(h, "credits") {
+		t.Fatalf("software-scheduler header %q has engine columns", h)
+	}
+	if colIndex(swRun.Intervals, "occupancy") < 0 {
+		t.Fatal("software run lost the occupancy column")
+	}
+}
+
+func TestTimeseriesFigures(t *testing.T) {
+	f := FigOptions{Threads: 2, Scale: 1, Seed: 7, Quick: true, Jobs: 2}
+	for name, fn := range map[string]func(FigOptions) (*stats.Table, error){
+		"occupancy":     FigOccupancy,
+		"mpki-interval": FigIntervalMPKI,
+	} {
+		tb, err := fn(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table", name)
+		}
+		if got := len(tb.Headers); got != 3 {
+			t.Fatalf("%s: %d columns", name, got)
+		}
+	}
+}

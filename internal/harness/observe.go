@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+
+	"minnow/internal/core"
+	"minnow/internal/cpu"
+	"minnow/internal/galois"
+	"minnow/internal/mem"
+	"minnow/internal/obs"
+	"minnow/internal/sim"
+	"minnow/internal/worklist"
+)
+
+// timelineCounterEvery is the counter-track sampling interval used when
+// the timeline is enabled without an explicit MetricsEvery.
+const timelineCounterEvery = 5000
+
+// observer bundles the per-run observability state the harness wires
+// between component construction and the simulation loop.
+type observer struct {
+	tl  *obs.Timeline
+	reg *obs.Registry
+}
+
+// buildObserver constructs the timeline and sampling registry selected by
+// the options and attaches the timeline hooks to cores, workers, engines,
+// and the memory system. It must run after every component exists and
+// before the first actor steps.
+//
+// Everything registered here observes only: the closures read counters
+// and queue lengths, never mutate them, which is what keeps RunSummary
+// byte-identical (and wall cycles and event-loop steps unchanged) whether
+// observability is on or off — the contract the obs harness tests pin.
+func buildObserver(o Options, cores []*cpu.Core, workers []*galois.Worker,
+	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) *observer {
+
+	ob := &observer{}
+	if o.Timeline {
+		tl := obs.NewTimeline()
+		for i, c := range cores {
+			track := tl.AddTrack(fmt.Sprintf("core %d", i))
+			c.TL, c.Track = tl, track
+			workers[i].TL, workers[i].Track = tl, track
+		}
+		for _, e := range engines {
+			e.TL = tl
+			e.Track = tl.AddTrack(fmt.Sprintf("engine %d", e.CoreID))
+		}
+		msys.TL = tl
+		msys.MemTrack = tl.AddTrack("memory")
+		ob.tl = tl
+	}
+	if o.MetricsEvery > 0 {
+		ob.reg = obs.NewRegistry(sim.Time(o.MetricsEvery))
+		ob.registerColumns(cores, engines, gwl, swWL, msys)
+	}
+	return ob
+}
+
+// occupancyFn returns the worklist-occupancy gauge: tasks queued anywhere
+// in the scheduling fabric — the software worklist for OBIM/FIFO/LIFO/
+// strictpq runs, or the global worklist plus every engine's local and
+// spill queues for Minnow runs (the paper's Fig. 2 occupancy).
+func occupancyFn(engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist) func() int64 {
+	if gwl != nil {
+		return func() int64 {
+			n := int64(gwl.Len())
+			for _, e := range engines {
+				n += e.QueuedTasks()
+			}
+			return n
+		}
+	}
+	if swWL != nil {
+		return func() int64 { return int64(swWL.Len()) }
+	}
+	return func() int64 { return 0 }
+}
+
+// registerColumns wires the paper's time-resolved metrics: per-core IPC,
+// worklist occupancy, interval L2/L3 MPKI, prefetch accuracy/coverage and
+// lateness, the credit pool level, and NoC/DRAM activity.
+func (ob *observer) registerColumns(cores []*cpu.Core, engines []*core.Engine,
+	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) {
+
+	reg := ob.reg
+	sumInstrs := func() int64 {
+		var n int64
+		for _, c := range cores {
+			n += c.Stat.Instrs
+		}
+		return n
+	}
+
+	reg.Counter("tasks", func() int64 {
+		var n int64
+		for _, c := range cores {
+			n += c.Stat.TasksRun
+		}
+		return n
+	})
+	reg.Gauge("occupancy", occupancyFn(engines, gwl, swWL))
+	reg.Rate("l2_mpki", func() int64 { return msys.DemandL2Misses }, sumInstrs, 1000)
+	reg.Rate("l3_mpki", func() int64 { return msys.L3Counters().Misses }, sumInstrs, 1000)
+	reg.Rate("pf_accuracy",
+		func() int64 { return msys.L2Counters().PrefetchUsed },
+		func() int64 { return msys.L2Counters().PrefetchFills }, 1)
+	reg.Rate("pf_coverage",
+		func() int64 { return msys.L2Counters().PrefetchUsed },
+		func() int64 { return msys.DemandL2Misses + msys.L2Counters().PrefetchUsed }, 1)
+	if len(engines) > 0 {
+		reg.Counter("pf_late_drops", func() int64 {
+			var n int64
+			for _, e := range engines {
+				n += e.Stat.LateDrops
+			}
+			return n
+		})
+		reg.Gauge("credits", func() int64 {
+			var n int64
+			for _, e := range engines {
+				n += int64(e.Credits())
+			}
+			return n
+		})
+		reg.Counter("credit_stalls", func() int64 {
+			var n int64
+			for _, e := range engines {
+				n += e.Stat.CreditStalls
+			}
+			return n
+		})
+	}
+	reg.Counter("noc_flits", func() int64 { return msys.Mesh.Flits })
+	reg.Counter("noc_stall", func() int64 { return msys.Mesh.StallCyc })
+	reg.Counter("dram_acc", func() int64 { return msys.DRAM.Accesses })
+	reg.Counter("dram_stall", func() int64 { return msys.DRAM.StallCyc })
+	for i, c := range cores {
+		c := c
+		reg.Rate(fmt.Sprintf("ipc%d", i),
+			func() int64 { return c.Stat.Instrs },
+			func() int64 { return int64(c.Now()) }, 1)
+	}
+}
+
+// install arms the simulation probe: at every crossed sampling boundary
+// the registry snapshots one row and the timeline appends its counter
+// tracks. With metrics off but the timeline on, counters sample at
+// timelineCounterEvery.
+func (ob *observer) install(eng *sim.Engine, engines []*core.Engine,
+	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) {
+
+	every := ob.reg.Every()
+	if every == 0 {
+		if ob.tl == nil {
+			return
+		}
+		every = timelineCounterEvery
+	}
+	occ := occupancyFn(engines, gwl, swWL)
+	tl := ob.tl
+	reg := ob.reg
+	eng.SetProbe(every, func(at sim.Time) {
+		reg.Sample(at)
+		if tl != nil {
+			tl.Counter(obs.EvOccupancy, at, occ())
+			tl.Counter(obs.EvNoCFlits, at, msys.Mesh.Flits)
+			tl.Counter(obs.EvDRAMQueue, at, msys.DRAM.BusyChannels(at))
+			if len(engines) > 0 {
+				var cr int64
+				for _, e := range engines {
+					cr += int64(e.Credits())
+				}
+				tl.Counter(obs.EvCredits, at, cr)
+			}
+		}
+	})
+}

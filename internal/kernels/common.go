@@ -12,6 +12,11 @@
 // of loads §3.4 measures) is non-delinquent traffic against the worker's
 // stack lines. Every kernel verifies its answer against an independent
 // reference implementation.
+//
+// Determinism contract: operators read and write only their own algorithm
+// state plus the worker handed to them; any randomness comes from rng
+// streams seeded by the run configuration, so task orders and emitted
+// micro-op sequences are reproducible run to run.
 package kernels
 
 import (

@@ -8,6 +8,12 @@
 // only. Benchmark state lives in ordinary Go slices; kernels compute the
 // simulated addresses of what they touch from the CSR layout and feed
 // those addresses through this model for timing.
+//
+// Determinism contract (§2 of sim's scheme): cache and directory state
+// evolve only through the timestamped access stream the actor ordering
+// fixes, so hit/miss outcomes and latencies reproduce exactly. The
+// timeline hooks (System.TL) observe misses and writebacks as they are
+// timed; they never alter replacement or coherence decisions.
 package mem
 
 import "minnow/internal/sim"

@@ -3,6 +3,7 @@ package mem
 import (
 	"minnow/internal/dram"
 	"minnow/internal/noc"
+	"minnow/internal/obs"
 	"minnow/internal/sim"
 	"minnow/internal/tlb"
 )
@@ -170,6 +171,12 @@ type System struct {
 	// invalidated untouched (used=false). Minnow's credit pool hooks in
 	// here.
 	OnCredit func(core int, used bool)
+
+	// TL, when non-nil, receives demand L2-miss and writeback instants on
+	// MemTrack (timeline observability; set by the harness). The hooks
+	// observe only — they never alter access timing.
+	TL       *obs.Timeline
+	MemTrack obs.TrackID
 
 	DRAMReads int64
 	InvMsgs   int64
@@ -493,7 +500,15 @@ func (s *System) Access(core int, addr uint64, kind Kind, now sim.Time) Result {
 	if kind == Atomic || kind == EngineAtomic {
 		done += s.cfg.AtomicExtra
 	}
+	if s.TL != nil && !engine {
+		// arg packs the requesting core with the supplying level so one
+		// track carries the whole demand miss stream.
+		s.TL.Instant(s.MemTrack, obs.EvL2Miss, now, int64(core)<<8|int64(level))
+	}
 	evl2 := s.l2[core].Fill(line, write, prefetch, done)
+	if s.TL != nil && evl2.Valid && evl2.Dirty {
+		s.TL.Instant(s.MemTrack, obs.EvWriteback, done, int64(core))
+	}
 	if evl2.Valid && evl2.Prefetch {
 		if prefetch {
 			s.WastePFEvict++

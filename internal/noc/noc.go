@@ -6,6 +6,11 @@
 // each link on its path for one cycle. Contention is modeled by keeping a
 // next-free time per directed link and serializing flits that want the
 // same link.
+//
+// Determinism contract: routes are a pure function of (src, dst) and link
+// reservations depend only on the timestamped traversal sequence, so
+// identical traffic always produces identical stall cycles. The Flits and
+// StallCyc counters are read-only inputs to the observability probes.
 package noc
 
 import "minnow/internal/sim"
@@ -133,6 +138,11 @@ func (m *Mesh) crossLink(x, y, dir int, t sim.Time) sim.Time {
 // MaxQueueDelay returns the largest single-link wait observed, a
 // congestion indicator used in tests.
 func (m *Mesh) MaxQueueDelay() sim.Time { return m.maxQueued }
+
+// Links returns the number of directed links in the mesh, the
+// normalization constant for flit-rate utilisation (flits per link-cycle
+// = ΔFlits / (interval × Links)).
+func (m *Mesh) Links() int { return m.W * m.H * 4 }
 
 // Reset clears link reservations and counters.
 func (m *Mesh) Reset() {

@@ -1,0 +1,57 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"minnow/internal/obs"
+	"minnow/internal/sim"
+)
+
+// ExampleRegistry samples a gauge and a rate at fixed cycle boundaries,
+// the way the harness probes a live simulation, then renders the interval
+// CSV.
+func ExampleRegistry() {
+	var depth, misses, instrs int64
+
+	r := obs.NewRegistry(1000)
+	r.Gauge("depth", func() int64 { return depth })
+	r.Rate("mpki", func() int64 { return misses }, func() int64 { return instrs }, 1000)
+
+	// First interval: 2 misses over 4000 retired micro-ops.
+	depth, misses, instrs = 12, 2, 4000
+	r.Sample(1000)
+	// Second interval: 6 more misses over 2000 more micro-ops.
+	depth, misses, instrs = 3, 8, 6000
+	r.Sample(2000)
+	// The run ends mid-interval; Flush records the partial tail.
+	depth, misses, instrs = 0, 9, 6500
+	r.Flush(sim.Time(2300))
+
+	fmt.Print(r.CSV())
+	// Output:
+	// cycle,depth,mpki
+	// 1000,12,0.5
+	// 2000,3,3
+	// 2300,0,2
+}
+
+// ExampleTimeline records a task span and a counter sample and exports
+// Chrome trace-event JSON for ui.perfetto.dev.
+func ExampleTimeline() {
+	tl := obs.NewTimeline()
+	core0 := tl.AddTrack("core 0")
+	tl.Span(core0, obs.EvTask, 100, 240, 7)
+	tl.Counter(obs.EvOccupancy, 1000, 42)
+
+	fmt.Println("events:", tl.Len())
+	fmt.Println("tasks:", tl.Count(obs.EvTask))
+	fmt.Printf("%s", tl.Perfetto())
+	// Output:
+	// events: 2
+	// tasks: 1
+	// {"traceEvents":[
+	// {"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"core 0"}},
+	// {"ph":"X","pid":0,"tid":0,"ts":100,"dur":140,"name":"task","args":{"arg":7}},
+	// {"ph":"C","pid":0,"ts":1000,"name":"worklist-occupancy","args":{"value":42}}
+	// ],"displayTimeUnit":"ms","otherData":{"generator":"minnowsim","timeUnit":"cycles"}}
+}

@@ -1,0 +1,130 @@
+// Package obs is the simulator's observability layer: a full-system event
+// vocabulary, a timeline collector that exports Chrome trace-event /
+// Perfetto JSON (one track per core, engine, and the shared memory
+// system), and a cheap time-series sampling registry that snapshots
+// counters at fixed simulated-cycle intervals and renders interval CSV.
+//
+// It exists to make the paper's *time-resolved* arguments reproducible:
+// worklist occupancy ramps (Fig. 2's motivation), the L2 MPKI collapse
+// under worklist-directed prefetching (§6.3), and credit-throttled
+// prefetch bursts (§5.3.1) are all invisible in end-of-run aggregates.
+// The engine-only ring buffer in internal/trace is re-based on this
+// package's Kind vocabulary, so engine events and full-system events
+// share one taxonomy (documented in docs/OBSERVABILITY.md).
+//
+// Determinism contract: observers never schedule. Nothing in this package
+// wakes an actor, advances a clock, or mutates simulation state — the
+// Timeline and Registry only read counters and append to private buffers.
+// Enabling observability must not change wall cycles, event-loop steps,
+// or any RunSummary field; the harness tests assert exactly that. All
+// collection entry points are nil-receiver-safe, so a disabled
+// (nil) Timeline or Registry costs one branch per instrumented site —
+// the same discipline as the trace package.
+package obs
+
+import "fmt"
+
+// Kind classifies an observability event. The first block mirrors the
+// historical engine-trace vocabulary (internal/trace aliases these
+// constants); the second block extends it to cores, caches, and the
+// memory fabric; the final block names the sampled counter tracks.
+type Kind uint8
+
+const (
+	// EvEnqueue is a minnow_enqueue accepted into a local queue.
+	EvEnqueue Kind = iota
+	// EvEnqueueSpill is a minnow_enqueue routed to the spill queue.
+	EvEnqueueSpill
+	// EvDequeue is a successful minnow_dequeue.
+	EvDequeue
+	// EvDequeueEmpty is a minnow_dequeue that found the local queue empty.
+	EvDequeueEmpty
+	// EvSpill is a spill threadlet batch completing.
+	EvSpill
+	// EvFill is a fill threadlet completing.
+	EvFill
+	// EvPrefetch is one prefetch threadlet issuing its loads.
+	EvPrefetch
+	// EvCreditStall is the prefetcher pausing on an empty credit pool.
+	EvCreditStall
+	// EvStreamDrop is a stale prefetch stream being cancelled.
+	EvStreamDrop
+	// EvFlush is a minnow_flush.
+	EvFlush
+
+	// EvTask is one operator application on a core (timeline span; the
+	// argument is the task's node ID).
+	EvTask
+	// EvStallLoad is a core retire-stall attributed to a load miss
+	// (instant; the argument is the stall length in cycles).
+	EvStallLoad
+	// EvStallStore is a core retire-stall attributed to a store or atomic
+	// (instant; the argument is the stall length in cycles).
+	EvStallStore
+	// EvL2Miss is a demand access missing a core's L2 (instant; the
+	// argument is the level that finally supplied the line: 3=L3, 4=DRAM).
+	EvL2Miss
+	// EvWriteback is a dirty line displaced from an L2 (instant).
+	EvWriteback
+
+	// EvOccupancy is the worklist occupancy counter track: tasks queued
+	// anywhere (global worklist + local queues + spill queues).
+	EvOccupancy
+	// EvCredits is the prefetch credit pool counter track (summed over
+	// engines).
+	EvCredits
+	// EvDRAMQueue is the DRAM counter track: channels with a pending
+	// service reservation at the sample instant.
+	EvDRAMQueue
+	// EvNoCFlits is the cumulative NoC link-traversal counter track.
+	EvNoCFlits
+
+	// NumKinds bounds the Kind space (per-kind count arrays).
+	NumKinds
+)
+
+// String returns the event label used in trace dumps, timeline track
+// names, and the Perfetto export.
+func (k Kind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "enqueue"
+	case EvEnqueueSpill:
+		return "enqueue-spill"
+	case EvDequeue:
+		return "dequeue"
+	case EvDequeueEmpty:
+		return "dequeue-empty"
+	case EvSpill:
+		return "spill"
+	case EvFill:
+		return "fill"
+	case EvPrefetch:
+		return "prefetch"
+	case EvCreditStall:
+		return "credit-stall"
+	case EvStreamDrop:
+		return "stream-drop"
+	case EvFlush:
+		return "flush"
+	case EvTask:
+		return "task"
+	case EvStallLoad:
+		return "stall-load"
+	case EvStallStore:
+		return "stall-store"
+	case EvL2Miss:
+		return "l2-miss"
+	case EvWriteback:
+		return "writeback"
+	case EvOccupancy:
+		return "worklist-occupancy"
+	case EvCredits:
+		return "credits"
+	case EvDRAMQueue:
+		return "dram-queue"
+	case EvNoCFlits:
+		return "noc-flits"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"minnow/internal/sim"
+)
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no label", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind label %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("out-of-range label %q", got)
+	}
+}
+
+func TestRegistryColumns(t *testing.T) {
+	var gauge, counter, num, den int64
+	r := NewRegistry(100)
+	r.Gauge("g", func() int64 { return gauge })
+	r.Counter("c", func() int64 { return counter })
+	r.Rate("r", func() int64 { return num }, func() int64 { return den }, 1000)
+
+	gauge, counter, num, den = 7, 10, 5, 1000
+	r.Sample(100)
+	gauge, counter, num, den = 3, 25, 8, 2000
+	r.Sample(200)
+
+	if r.Len() != 2 {
+		t.Fatalf("rows %d, want 2", r.Len())
+	}
+	at, row := r.Row(0)
+	if at != 100 || row[0] != 7 || row[1] != 10 || row[2] != 5 {
+		t.Fatalf("row0 at=%d %v", at, row)
+	}
+	// Second row: gauge is instantaneous, counter and rate are deltas.
+	at, row = r.Row(1)
+	if at != 200 || row[0] != 3 || row[1] != 15 || row[2] != 3 {
+		t.Fatalf("row1 at=%d %v (want gauge 3, counter delta 15, rate 3/1000*1000)", at, row)
+	}
+}
+
+func TestRegistryRateZeroDenominator(t *testing.T) {
+	r := NewRegistry(10)
+	r.Rate("r", func() int64 { return 5 }, func() int64 { return 0 }, 1000)
+	r.Sample(10)
+	if _, row := r.Row(0); row[0] != 0 {
+		t.Fatalf("zero-denominator rate = %v, want 0", row[0])
+	}
+}
+
+func TestRegistryFlushShortRun(t *testing.T) {
+	// A run shorter than one interval never crosses a boundary; Flush must
+	// still produce exactly one row covering the whole run.
+	r := NewRegistry(1_000_000)
+	r.Counter("c", func() int64 { return 42 })
+	r.Flush(777)
+	if r.Len() != 1 {
+		t.Fatalf("rows %d, want 1", r.Len())
+	}
+	at, row := r.Row(0)
+	if at != 777 || row[0] != 42 {
+		t.Fatalf("flush row at=%d %v", at, row)
+	}
+	// A second flush at the same end is a no-op (empty tail).
+	r.Flush(777)
+	if r.Len() != 1 {
+		t.Fatalf("re-flush added a row: %d", r.Len())
+	}
+}
+
+func TestRegistryFlushOnBoundary(t *testing.T) {
+	// When the run ends exactly on the last sampled boundary there is no
+	// tail to record.
+	r := NewRegistry(100)
+	r.Gauge("g", func() int64 { return 1 })
+	r.Sample(100)
+	r.Flush(100)
+	if r.Len() != 1 {
+		t.Fatalf("rows %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryCSV(t *testing.T) {
+	v := int64(0)
+	r := NewRegistry(50)
+	r.Gauge("depth", func() int64 { return v })
+	r.Rate("frac", func() int64 { return 1 }, func() int64 { return 3 }, 1)
+	v = 12
+	r.Sample(50)
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "cycle,depth,frac" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "50,12,0.333333" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Gauge("g", nil)
+	r.Counter("c", nil)
+	r.Rate("r", nil, nil, 1)
+	r.Sample(10)
+	r.Flush(20)
+	if r.Len() != 0 || r.Every() != 0 || r.Header() != nil || r.CSV() != "" {
+		t.Fatal("nil registry leaked state")
+	}
+}
+
+func TestNilRegistryAllocFree(t *testing.T) {
+	var r *Registry
+	if n := testing.AllocsPerRun(100, func() {
+		r.Sample(10)
+		r.Flush(10)
+	}); n != 0 {
+		t.Fatalf("nil registry allocates %.1f per sample", n)
+	}
+}
+
+func TestTimelineCollect(t *testing.T) {
+	tl := NewTimeline()
+	c0 := tl.AddTrack("core 0")
+	if c0 != 0 {
+		t.Fatalf("first track ID %d", c0)
+	}
+	tl.Span(c0, EvTask, 10, 30, 7)
+	tl.Span(c0, EvTask, 30, 30, 8) // zero-length: floored to 1 cycle
+	tl.Instant(c0, EvStallLoad, 25, 60)
+	tl.Counter(EvOccupancy, 100, 5)
+	if tl.Len() != 4 || tl.Count(EvTask) != 2 || tl.Count(EvStallLoad) != 1 {
+		t.Fatalf("len=%d task=%d stall=%d", tl.Len(), tl.Count(EvTask), tl.Count(EvStallLoad))
+	}
+	if got := tl.Tracks(); len(got) != 1 || got[0] != "core 0" {
+		t.Fatalf("tracks %v", got)
+	}
+}
+
+func TestNilTimelineSafe(t *testing.T) {
+	var tl *Timeline
+	if id := tl.AddTrack("x"); id != -1 {
+		t.Fatalf("nil AddTrack = %d", id)
+	}
+	tl.Span(0, EvTask, 1, 2, 0)
+	tl.Instant(0, EvTask, 1, 0)
+	tl.Counter(EvOccupancy, 1, 0)
+	if tl.Len() != 0 || tl.Count(EvTask) != 0 || tl.Tracks() != nil {
+		t.Fatal("nil timeline leaked state")
+	}
+}
+
+func TestNilTimelineAllocFree(t *testing.T) {
+	var tl *Timeline
+	if n := testing.AllocsPerRun(100, func() {
+		tl.Span(0, EvTask, 1, 2, 0)
+		tl.Instant(0, EvStallLoad, 1, 0)
+		tl.Counter(EvOccupancy, 1, 0)
+	}); n != 0 {
+		t.Fatalf("nil timeline allocates %.1f per emit", n)
+	}
+}
+
+// perfettoDoc mirrors the trace-event JSON shape for validation.
+type perfettoDoc struct {
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   *int64         `json:"ts"`
+		Dur  *int64         `json:"dur"`
+		Name string         `json:"name"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+func TestPerfettoJSON(t *testing.T) {
+	tl := NewTimeline()
+	core := tl.AddTrack("core 0")
+	engine := tl.AddTrack("engine 0")
+	tl.Span(core, EvTask, 100, 250, 42)
+	tl.Instant(engine, EvCreditStall, 180, 0)
+	tl.Counter(EvOccupancy, 200, 17)
+
+	var doc perfettoDoc
+	if err := json.Unmarshal(tl.Perfetto(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || doc.OtherData["timeUnit"] != "cycles" {
+		t.Fatalf("metadata %q %v", doc.DisplayTimeUnit, doc.OtherData)
+	}
+	// 2 thread_name records + 3 events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events %d, want 5", len(doc.TraceEvents))
+	}
+	byPh := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byPh[ev.Ph]++
+	}
+	if byPh["M"] != 2 || byPh["X"] != 1 || byPh["i"] != 1 || byPh["C"] != 1 {
+		t.Fatalf("phase counts %v", byPh)
+	}
+	span := doc.TraceEvents[2]
+	if span.Ph != "X" || span.Name != "task" || *span.Ts != 100 || *span.Dur != 150 {
+		t.Fatalf("span %+v", span)
+	}
+}
+
+func TestPerfettoNilAndEmpty(t *testing.T) {
+	var nilTL *Timeline
+	for _, b := range [][]byte{nilTL.Perfetto(), NewTimeline().Perfetto()} {
+		var doc perfettoDoc
+		if err := json.Unmarshal(b, &doc); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if len(doc.TraceEvents) != 0 {
+			t.Fatalf("events %d, want 0", len(doc.TraceEvents))
+		}
+	}
+}
+
+func TestRegistryWithSimProbe(t *testing.T) {
+	// End-to-end: a sim.Engine probe drives Sample at each crossed
+	// boundary; stamps land on exact multiples of the interval.
+	eng := sim.NewEngine()
+	steps := 0
+	id := eng.Register(actorFunc(func() (sim.Time, bool) {
+		steps++
+		return sim.Time(steps * 70), steps >= 4
+	}))
+	eng.Wake(id, 0)
+	r := NewRegistry(100)
+	r.Gauge("steps", func() int64 { return int64(steps) })
+	eng.SetProbe(r.Every(), func(at sim.Time) { r.Sample(at) })
+	end, _ := eng.Run(0)
+	r.Flush(end)
+	// Steps at 0, 70, 140, 210 → boundaries 100 and 200 crossed, then a
+	// final flush row at the 210 frontier (the last step's time).
+	if r.Len() != 3 {
+		t.Fatalf("rows %d: %s", r.Len(), r.CSV())
+	}
+	for i, want := range []sim.Time{100, 200, 210} {
+		if at, _ := r.Row(i); at != want {
+			t.Fatalf("row %d stamped %d, want %d", i, at, want)
+		}
+	}
+}
+
+// actorFunc adapts a closure to sim.Actor.
+type actorFunc func() (sim.Time, bool)
+
+func (f actorFunc) Step() (sim.Time, bool) { return f() }

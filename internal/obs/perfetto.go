@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Perfetto renders the timeline as Chrome trace-event JSON, the format
+// ui.perfetto.dev (and chrome://tracing) opens directly. One simulated
+// cycle maps to one microsecond of trace time, so Perfetto's "1 ms" is
+// 1000 cycles; the mapping is recorded under otherData.timeUnit.
+//
+// Layout: every AddTrack track becomes a named thread of process 0
+// (cores, engines, the memory system); spans are complete events ("X"),
+// point events are thread-scoped instants ("i"), and Counter samples
+// become counter tracks ("C") that Perfetto plots as stepped graphs.
+//
+// The output is deterministic: events appear in collection order, which
+// the single-goroutine-per-run simulator fixes for a given configuration
+// and seed, and all numbers are formatted with strconv.
+func (t *Timeline) Perfetto() []byte {
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+	if t != nil {
+		for i, name := range t.names {
+			emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + strconv.Itoa(i) +
+				",\"name\":\"thread_name\",\"args\":{\"name\":" + strconv.Quote(name) + "}}")
+		}
+		for i := range t.events {
+			ev := &t.events[i]
+			switch ev.phase {
+			case phSpan:
+				emit("{\"ph\":\"X\",\"pid\":0,\"tid\":" + strconv.Itoa(int(ev.track)) +
+					",\"ts\":" + strconv.FormatInt(int64(ev.start), 10) +
+					",\"dur\":" + strconv.FormatInt(int64(ev.end-ev.start), 10) +
+					",\"name\":" + strconv.Quote(ev.kind.String()) +
+					",\"args\":{\"arg\":" + strconv.FormatInt(ev.arg, 10) + "}}")
+			case phInstant:
+				emit("{\"ph\":\"i\",\"pid\":0,\"tid\":" + strconv.Itoa(int(ev.track)) +
+					",\"ts\":" + strconv.FormatInt(int64(ev.start), 10) +
+					",\"s\":\"t\",\"name\":" + strconv.Quote(ev.kind.String()) +
+					",\"args\":{\"arg\":" + strconv.FormatInt(ev.arg, 10) + "}}")
+			case phCounter:
+				emit("{\"ph\":\"C\",\"pid\":0,\"ts\":" + strconv.FormatInt(int64(ev.start), 10) +
+					",\"name\":" + strconv.Quote(ev.kind.String()) +
+					",\"args\":{\"value\":" + strconv.FormatInt(ev.arg, 10) + "}}")
+			}
+		}
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"minnowsim\",\"timeUnit\":\"cycles\"}}\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,115 @@
+package obs
+
+import "minnow/internal/sim"
+
+// TrackID names one timeline track (a core, an engine, the memory
+// system). Tracks are created with Timeline.AddTrack and map to Perfetto
+// threads in the export.
+type TrackID int32
+
+// phase distinguishes the stored event shapes.
+const (
+	phSpan uint8 = iota
+	phInstant
+	phCounter
+)
+
+// tlEvent is one collected event, kept compact because an enabled
+// timeline records every task, threadlet, and cache miss of a run.
+type tlEvent struct {
+	start sim.Time
+	end   sim.Time // == start for instants; counter value slot for counters
+	arg   int64
+	track TrackID
+	kind  Kind
+	phase uint8
+}
+
+// Timeline collects spans, instants, and counter samples in simulation
+// order for the Perfetto export. A nil *Timeline is a valid disabled
+// collector: every method is nil-receiver-safe and allocation-free, so
+// instrumented sites need no guard beyond the call itself (hot loops may
+// still branch on nil to skip argument setup).
+//
+// Timelines are single-run, single-goroutine objects, like every other
+// piece of per-run simulation state; runs that overlap under the parallel
+// harness each own a private Timeline, which keeps the export
+// byte-identical for any -jobs value.
+type Timeline struct {
+	names  []string
+	events []tlEvent
+	byKind [NumKinds]int64
+}
+
+// NewTimeline returns an empty collector.
+func NewTimeline() *Timeline {
+	return &Timeline{}
+}
+
+// AddTrack registers a named track and returns its ID. Returns -1 on a
+// nil timeline (the ID is never dereferenced by the nil emit paths).
+func (t *Timeline) AddTrack(name string) TrackID {
+	if t == nil {
+		return -1
+	}
+	t.names = append(t.names, name)
+	return TrackID(len(t.names) - 1)
+}
+
+// Span records a duration event [start, end) on a track. Zero- and
+// negative-length spans are recorded with a one-cycle floor so they stay
+// visible in Perfetto.
+func (t *Timeline) Span(track TrackID, kind Kind, start, end sim.Time, arg int64) {
+	if t == nil {
+		return
+	}
+	if end <= start {
+		end = start + 1
+	}
+	t.events = append(t.events, tlEvent{start: start, end: end, arg: arg, track: track, kind: kind, phase: phSpan})
+	t.byKind[kind]++
+}
+
+// Instant records a point event on a track.
+func (t *Timeline) Instant(track TrackID, kind Kind, at sim.Time, arg int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, tlEvent{start: at, end: at, arg: arg, track: track, kind: kind, phase: phInstant})
+	t.byKind[kind]++
+}
+
+// Counter records a sample on the kind's counter track (counter tracks
+// are named by the Kind, not by a TrackID; Perfetto renders each as its
+// own graph).
+func (t *Timeline) Counter(kind Kind, at sim.Time, value int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, tlEvent{start: at, end: at, arg: value, kind: kind, phase: phCounter})
+	t.byKind[kind]++
+}
+
+// Len returns the number of recorded events.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Count returns how many events of a kind were recorded.
+func (t *Timeline) Count(k Kind) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.byKind[k]
+}
+
+// Tracks returns the registered track names in creation order.
+func (t *Timeline) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.names...)
+}

@@ -9,6 +9,10 @@
 // through an index array, and they have no feedback throttling — the two
 // structural weaknesses §6.3.3 contrasts with worklist-directed
 // prefetching.
+//
+// Determinism contract: both prefetchers react only to the demand-load
+// stream and their own table state; no sampling or randomness is involved,
+// so the issued prefetch sequence is reproducible.
 package prefetch
 
 import (

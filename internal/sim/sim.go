@@ -23,9 +23,21 @@
 // queued time is already <= the frontier, and Wake never delays an entry);
 // an actor that returns done is retired regardless and must be re-armed by
 // a Wake issued after its step returns.
+//
+// Observability: SetProbe installs a read-only callback invoked whenever
+// the frontier crosses a fixed cycle boundary (the obs package's sampling
+// registry hooks in here). The probe fires before the actor scheduled at
+// or past the boundary steps, so a sample stamped B reflects exactly the
+// work completed strictly before cycle B; probes must only read state —
+// calling Wake or mutating actors from a probe would break the
+// determinism contract above. A disabled probe costs one comparison per
+// frontier advance.
 package sim
 
 import "container/heap"
+
+// timeMax is the disabled-probe sentinel; no simulation reaches it.
+const timeMax = Time(1) << 62
 
 // Time is a simulated time in core clock cycles.
 type Time int64
@@ -85,11 +97,45 @@ type Engine struct {
 	entries []*entry // by actor ID
 	now     Time
 	steps   int64
+
+	probeAt    Time // next boundary; timeMax when no probe is installed
+	probeEvery Time
+	probeFn    func(at Time)
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{probeAt: timeMax}
+}
+
+// SetProbe installs fn to be called with each crossed boundary time
+// (every, 2*every, ...) as the frontier advances. The probe observes
+// only: it runs before the actor at or past the boundary steps and must
+// not wake actors or mutate simulation state. A nil fn or non-positive
+// interval disables probing.
+func (e *Engine) SetProbe(every Time, fn func(at Time)) {
+	if fn == nil || every <= 0 {
+		e.probeAt, e.probeEvery, e.probeFn = timeMax, 0, nil
+		return
+	}
+	e.probeEvery = every
+	e.probeFn = fn
+	e.probeAt = every
+	for e.probeAt <= e.now {
+		e.probeAt += every
+	}
+}
+
+// fireProbe emits one callback per boundary the frontier crossed. A
+// frontier jump over multiple boundaries yields one callback per
+// boundary, so sampling cadence stays cycle-aligned even through idle
+// gaps.
+func (e *Engine) fireProbe() {
+	for e.probeAt <= e.now {
+		at := e.probeAt
+		e.probeAt += e.probeEvery
+		e.probeFn(at)
+	}
 }
 
 // Register adds an actor and returns its ID. The actor is initially
@@ -141,6 +187,9 @@ func (e *Engine) Run(maxSteps int64) (Time, bool) {
 		ent := e.heap[0]
 		if ent.at > e.now {
 			e.now = ent.at
+			if e.now >= e.probeAt {
+				e.fireProbe()
+			}
 		}
 		e.steps++
 		// Step may call Wake, which can push or re-sift entries and

@@ -1,7 +1,12 @@
 // Package stats collects and formats simulation statistics: per-core cycle
 // breakdowns, cache miss counters, prefetch effectiveness, and the derived
-// metrics the paper reports (MPKI, prefetch efficiency, delinquent load
-// density, speedups).
+// metrics the paper reports (MPKI §6.3, prefetch efficiency Fig. 20,
+// delinquent load density Fig. 6, the Fig. 5 cycle breakdown, speedups).
+//
+// Determinism contract: everything in Run except the observability
+// attachments (Trace, Intervals, Timeline) is part of RunSummary, the
+// canonical fingerprint two runs of one configuration must reproduce
+// byte-for-byte; see summary.go for what is excluded and why.
 package stats
 
 import (
@@ -10,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"minnow/internal/obs"
 	"minnow/internal/trace"
 )
 
@@ -53,14 +59,14 @@ type CoreStats struct {
 	Instrs     int64          // retired micro-ops (for MPKI)
 	Loads      int64          // all load micro-ops
 	Delinquent int64          // loads tagged as first-touch node/edge/task accesses
-	Branches   int64
-	Mispreds   int64
-	Atomics    int64
-	TasksRun   int64
-	EnqOps     int64
-	DeqOps     int64
-	EnqCycles  int64 // cycles spent inside enqueue operations
-	DeqCycles  int64 // cycles spent inside dequeue operations
+	Branches   int64          // conditional branch micro-ops
+	Mispreds   int64          // TAGE mispredictions
+	Atomics    int64          // atomic RMW micro-ops (fence points)
+	TasksRun   int64          // operator applications on this core
+	EnqOps     int64          // worklist enqueue operations
+	DeqOps     int64          // successful worklist dequeue operations
+	EnqCycles  int64          // cycles spent inside enqueue operations
+	DeqCycles  int64          // cycles spent inside dequeue operations
 }
 
 // TotalCycles returns the sum over all categories.
@@ -74,9 +80,9 @@ func (c *CoreStats) TotalCycles() int64 {
 
 // CacheStats aggregates one cache level's activity.
 type CacheStats struct {
-	Accesses      int64
-	Misses        int64
-	Evictions     int64
+	Accesses      int64 // demand lookups
+	Misses        int64 // demand lookups that missed
+	Evictions     int64 // lines displaced by fills
 	Writebacks    int64 // dirty lines written back on eviction
 	PrefetchFills int64 // lines installed by a prefetcher
 	PrefetchUsed  int64 // prefetched lines touched by demand before eviction
@@ -111,20 +117,20 @@ type EngineStats struct {
 
 // Run captures everything measured during one simulated benchmark run.
 type Run struct {
-	Name       string
-	Threads    int
-	WallCycles int64 // end-to-end simulated cycles
-	SimSteps   int64 // discrete-event actor steps executed by the scheduler
-	TimedOut   bool  // hit the work budget (Fig. 3 "timed out" bars)
+	Name       string // benchmark name
+	Threads    int    // simulated core count
+	WallCycles int64  // end-to-end simulated cycles
+	SimSteps   int64  // discrete-event actor steps executed by the scheduler
+	TimedOut   bool   // hit the work budget (Fig. 3 "timed out" bars)
 
-	Cores   []CoreStats
-	L2      CacheStats // aggregated over all L2s
-	L3      CacheStats
-	Engines []EngineStats
+	Cores   []CoreStats   // per-core breakdowns, indexed by core ID
+	L2      CacheStats    // aggregated over all L2s
+	L3      CacheStats    // aggregated over all L3 banks
+	Engines []EngineStats // per-engine activity (Minnow runs only)
 
-	WorkItems   int64 // operator applications (work-efficiency metric)
-	DRAMReads   int64
-	DRAMRows    int64
+	WorkItems   int64   // operator applications (work-efficiency metric)
+	DRAMReads   int64   // lines read from DRAM
+	DRAMRows    int64   // distinct DRAM row activations (diagnostics)
 	InvMsgs     int64   // coherence invalidation messages
 	DRAMStall   int64   // cycles requests queued at busy DRAM channels
 	NoCStall    int64   // cycles flits waited for mesh links
@@ -132,14 +138,21 @@ type Run struct {
 	DirtyRemote int64   // reads served from remote modified copies
 	// Trace holds the engine event log when tracing was enabled.
 	Trace      *trace.Buffer
-	LatByLevel [5]int64
-	CntByLevel [5]int64
+	// Intervals holds the time-series sampling rows when metrics
+	// sampling was enabled (Options.MetricsEvery).
+	Intervals *obs.Registry
+	// Timeline holds the full-system event timeline when timeline
+	// collection was enabled (Options.Timeline); render it with
+	// Timeline.Perfetto.
+	Timeline   *obs.Timeline
+	LatByLevel [5]int64 // summed demand-load latency by supplying level
+	CntByLevel [5]int64 // demand-load count by supplying level
 
 	// Prefetch waste attribution (diagnostics).
-	WastePFEvict     int64
-	WasteDemandEvict int64
-	WasteInval       int64
-	L1Shielded       int64
+	WastePFEvict     int64 // prefetched lines evicted by later prefetches
+	WasteDemandEvict int64 // prefetched lines evicted by demand fills
+	WasteInval       int64 // prefetched lines lost to invalidations
+	L1Shielded       int64 // L2 prefetch hits hidden behind L1 hits
 }
 
 // SumCores returns the element-wise sum of all core stats.
@@ -218,9 +231,9 @@ func (r *Run) AvgDeqCycles() float64 {
 
 // Table renders rows as an aligned plain-text table.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     // optional heading printed above the table
+	Headers []string   // column names
+	Rows    [][]string // formatted cells, one slice per row
 }
 
 // AddRow appends a row, formatting each cell with %v.
@@ -336,7 +349,7 @@ func GeoMean(vals []float64) float64 {
 // distributions in tests and tools.
 type Histogram struct {
 	Bounds []int64 // ascending upper bounds; last bucket is overflow
-	Counts []int64
+	Counts []int64 // observations per bucket (len(Bounds)+1)
 }
 
 // NewHistogram builds a histogram with the given ascending bucket bounds.

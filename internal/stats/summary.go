@@ -8,38 +8,43 @@ import (
 
 // RunSummary is the JSON-serializable deterministic digest of a Run: every
 // counter the simulator guarantees to reproduce for a given configuration
-// and seed, and nothing else (the event trace is excluded — it is a
-// bounded ring buffer whose contents depend on its configured depth, not
-// on the simulated execution alone). Two runs of the same configuration
-// must produce byte-identical summaries; VerifyDeterminism and the -race
-// harness tests compare them.
+// and seed, and nothing else. The observability attachments are excluded
+// by design: the event trace is a bounded ring whose contents depend on
+// its configured depth, and the interval registry and timeline depend on
+// the operator-chosen sampling interval — none of them may influence (or
+// be influenced by) anything summarized here. Enabling observability must
+// leave the summary byte-identical; the harness obs tests assert it. Two
+// runs of the same configuration must produce byte-identical summaries;
+// VerifyDeterminism and the -race harness tests compare them.
+// Every field mirrors the Run field of the same name; see Run for the
+// per-field semantics.
 type RunSummary struct {
-	Name       string `json:"name"`
-	Threads    int    `json:"threads"`
-	WallCycles int64  `json:"wall_cycles"`
-	SimSteps   int64  `json:"sim_steps"`
-	TimedOut   bool   `json:"timed_out"`
+	Name       string `json:"name"`        // benchmark name
+	Threads    int    `json:"threads"`     // simulated core count
+	WallCycles int64  `json:"wall_cycles"` // end-to-end simulated cycles
+	SimSteps   int64  `json:"sim_steps"`   // discrete-event actor steps
+	TimedOut   bool   `json:"timed_out"`   // hit the work budget
 
-	Cores   []CoreStats   `json:"cores"`
-	L2      CacheStats    `json:"l2"`
-	L3      CacheStats    `json:"l3"`
-	Engines []EngineStats `json:"engines,omitempty"`
+	Cores   []CoreStats   `json:"cores"`             // per-core breakdowns
+	L2      CacheStats    `json:"l2"`                // aggregated L2 counters
+	L3      CacheStats    `json:"l3"`                // aggregated L3 counters
+	Engines []EngineStats `json:"engines,omitempty"` // per-engine activity
 
-	WorkItems   int64    `json:"work_items"`
-	DRAMReads   int64    `json:"dram_reads"`
-	DRAMRows    int64    `json:"dram_rows"`
-	InvMsgs     int64    `json:"inv_msgs"`
-	DRAMStall   int64    `json:"dram_stall"`
-	NoCStall    int64    `json:"noc_stall"`
-	AvgLoadLat  float64  `json:"avg_load_lat"`
-	DirtyRemote int64    `json:"dirty_remote"`
-	LatByLevel  [5]int64 `json:"lat_by_level"`
-	CntByLevel  [5]int64 `json:"cnt_by_level"`
+	WorkItems   int64    `json:"work_items"`   // operator applications
+	DRAMReads   int64    `json:"dram_reads"`   // lines read from DRAM
+	DRAMRows    int64    `json:"dram_rows"`    // distinct row activations
+	InvMsgs     int64    `json:"inv_msgs"`     // coherence invalidations
+	DRAMStall   int64    `json:"dram_stall"`   // cycles queued at DRAM
+	NoCStall    int64    `json:"noc_stall"`    // cycles flits waited for links
+	AvgLoadLat  float64  `json:"avg_load_lat"` // mean demand-load latency
+	DirtyRemote int64    `json:"dirty_remote"` // reads from remote dirty copies
+	LatByLevel  [5]int64 `json:"lat_by_level"` // summed load latency by level
+	CntByLevel  [5]int64 `json:"cnt_by_level"` // load count by level
 
-	WastePFEvict     int64 `json:"waste_pf_evict"`
-	WasteDemandEvict int64 `json:"waste_demand_evict"`
-	WasteInval       int64 `json:"waste_inval"`
-	L1Shielded       int64 `json:"l1_shielded"`
+	WastePFEvict     int64 `json:"waste_pf_evict"`     // prefetches evicted by prefetches
+	WasteDemandEvict int64 `json:"waste_demand_evict"` // prefetches evicted by demand
+	WasteInval       int64 `json:"waste_inval"`        // prefetches invalidated
+	L1Shielded       int64 `json:"l1_shielded"`        // L2 prefetch hits behind L1 hits
 }
 
 // Summary extracts the deterministic portion of the run for cross-run

@@ -5,6 +5,10 @@
 // Minnow engines translate through their core's L2 TLB only; an engine
 // access that misses the L2 TLB raises an exception serviced by the host
 // core (minnow_enqueue/dequeue "may cause TLB miss exception").
+//
+// Determinism contract: TLB state evolves only through the translated
+// access stream (LRU over page numbers), so identical address sequences
+// always hit and miss identically.
 package tlb
 
 import "minnow/internal/sim"

@@ -1,80 +1,69 @@
 // Package trace provides a lightweight ring-buffer event log for the
 // Minnow engines: enqueues, dequeues, spills, fills, prefetch issues,
-// credit stalls, and stream drops, each stamped with simulated time.
+// credit stalls, and stream drops, each stamped with simulated time
+// (§4-§5 of the paper; the events are the engine's Fig. 12/Fig. 14
+// operations).
 //
 // Tracing is opt-in (a nil buffer costs one branch per event site) and
 // bounded: the ring keeps the most recent Cap events. The minnowsim
 // -trace flag prints the tail of the log after a run.
+//
+// The event vocabulary is the engine subset of the obs package's
+// full-system Kind taxonomy — Kind is an alias of obs.Kind and the Ev*
+// constants re-export the obs values, so a ring-buffer event and a
+// timeline event of the same kind always agree on meaning and label.
+//
+// Determinism contract: the buffer observes only. Emit never advances a
+// clock or wakes an actor, so enabling tracing cannot change simulated
+// timing; the ring's *contents* depend on its configured depth (it keeps
+// a suffix of the event stream), which is why RunSummary excludes it.
 package trace
 
 import (
 	"fmt"
 	"strings"
 
+	"minnow/internal/obs"
 	"minnow/internal/sim"
 )
 
-// Kind classifies an engine event.
-type Kind uint8
+// Kind classifies an engine event. It is the obs package's full-system
+// event taxonomy; the buffer records the engine subset.
+type Kind = obs.Kind
 
+// The engine event kinds, re-exported from obs for existing call sites.
 const (
 	// EvEnqueue is a minnow_enqueue accepted into a local queue.
-	EvEnqueue Kind = iota
+	EvEnqueue = obs.EvEnqueue
 	// EvEnqueueSpill is a minnow_enqueue routed to the spill queue.
-	EvEnqueueSpill
+	EvEnqueueSpill = obs.EvEnqueueSpill
 	// EvDequeue is a successful minnow_dequeue.
-	EvDequeue
+	EvDequeue = obs.EvDequeue
 	// EvDequeueEmpty is a minnow_dequeue that found the local queue empty.
-	EvDequeueEmpty
+	EvDequeueEmpty = obs.EvDequeueEmpty
 	// EvSpill is a spill threadlet batch completing.
-	EvSpill
+	EvSpill = obs.EvSpill
 	// EvFill is a fill threadlet completing.
-	EvFill
+	EvFill = obs.EvFill
 	// EvPrefetch is one prefetch threadlet issuing its loads.
-	EvPrefetch
+	EvPrefetch = obs.EvPrefetch
 	// EvCreditStall is the prefetcher pausing on an empty credit pool.
-	EvCreditStall
+	EvCreditStall = obs.EvCreditStall
 	// EvStreamDrop is a stale prefetch stream being cancelled.
-	EvStreamDrop
+	EvStreamDrop = obs.EvStreamDrop
 	// EvFlush is a minnow_flush.
-	EvFlush
-	numKinds
-)
+	EvFlush = obs.EvFlush
 
-// String returns the event label.
-func (k Kind) String() string {
-	switch k {
-	case EvEnqueue:
-		return "enqueue"
-	case EvEnqueueSpill:
-		return "enqueue-spill"
-	case EvDequeue:
-		return "dequeue"
-	case EvDequeueEmpty:
-		return "dequeue-empty"
-	case EvSpill:
-		return "spill"
-	case EvFill:
-		return "fill"
-	case EvPrefetch:
-		return "prefetch"
-	case EvCreditStall:
-		return "credit-stall"
-	case EvStreamDrop:
-		return "stream-drop"
-	case EvFlush:
-		return "flush"
-	}
-	return fmt.Sprintf("kind(%d)", uint8(k))
-}
+	numKinds = obs.NumKinds
+)
 
 // Event is one engine event.
 type Event struct {
-	At     sim.Time
-	Engine int32 // engine attach-point core ID
-	Core   int32 // served core (differs from Engine when sharing)
-	Kind   Kind
-	Arg    int64 // kind-specific: node ID, batch size, load count...
+	At     sim.Time // simulated completion time
+	Engine int32    // engine attach-point core ID
+	Core   int32    // served core (differs from Engine when sharing)
+	Kind   Kind     // event classification (obs vocabulary)
+	Arg    int64    // kind-specific: node ID, batch size, load count...
 }
 
 // String renders one event line.

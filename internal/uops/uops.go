@@ -8,6 +8,11 @@
 // execution. This keeps the timing model honest about the properties the
 // paper's experiments measure: memory-level parallelism, serialization at
 // atomics, and branch mispredictions on data-dependent branches.
+//
+// Determinism contract: a Trace is plain data — replaying the same op
+// sequence through the core model is what makes cycle counts reproducible,
+// so emitters must derive any data-dependent content (addresses, branch
+// outcomes) from deterministic algorithm state.
 package uops
 
 // Kind is the micro-op class.

@@ -9,6 +9,11 @@
 // would perform against *shared simulated addresses*, so scheduling
 // overhead, coherence traffic on queue heads, and lock serialization
 // emerge from the memory model rather than being assumed.
+//
+// Determinism contract: pop order depends only on push order and the
+// caller's thread ID (the min-time actor ordering serializes concurrent
+// access), so worklist contents — including the Len the observability
+// occupancy gauge reads — are reproducible at every simulated instant.
 package worklist
 
 import (

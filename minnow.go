@@ -84,6 +84,16 @@ type Config struct {
 	// TraceEvents records the last N Minnow engine events; the rendered
 	// log is returned in Result.TraceText (requires Minnow).
 	TraceEvents int
+
+	// MetricsEvery samples the time-series metrics (per-core IPC,
+	// worklist occupancy, interval MPKI, prefetch accuracy, credit pool,
+	// NoC/DRAM activity) every N simulated cycles; the interval CSV is
+	// returned in Result.IntervalCSV. 0 disables sampling.
+	MetricsEvery int64
+	// Timeline records a full-system event timeline (task spans, stalls,
+	// cache misses, engine spill/fill/prefetch activity, counter tracks);
+	// the Chrome-trace/Perfetto JSON is returned in Result.TimelineJSON.
+	Timeline bool
 }
 
 // Result reports a simulated run's headline metrics.
@@ -105,6 +115,13 @@ type Result struct {
 
 	// TraceText is the rendered engine event log (Config.TraceEvents).
 	TraceText string
+	// IntervalCSV is the time-series metrics table, one row per sampling
+	// interval (Config.MetricsEvery). Empty when sampling was off.
+	IntervalCSV string
+	// TimelineJSON is the Chrome-trace/Perfetto rendering of the run's
+	// event timeline (Config.Timeline); load it at ui.perfetto.dev. Nil
+	// when timeline collection was off.
+	TimelineJSON []byte
 }
 
 // Benchmarks lists the available workloads: the paper's Table-2 suite
@@ -136,6 +153,8 @@ func (c Config) toOptions() harness.Options {
 		MemChannels:    c.MemChannels,
 		SkipVerify:     c.SkipVerify,
 		TraceEvents:    c.TraceEvents,
+		MetricsEvery:   c.MetricsEvery,
+		Timeline:       c.Timeline,
 	}
 	if c.Minnow {
 		o.Scheduler = "minnow"
@@ -196,6 +215,12 @@ func resultFrom(benchmark string, r *stats.Run) *Result {
 	}
 	if r.Trace != nil {
 		res.TraceText = r.Trace.String()
+	}
+	if r.Intervals != nil {
+		res.IntervalCSV = r.Intervals.CSV()
+	}
+	if r.Timeline != nil {
+		res.TimelineJSON = r.Timeline.Perfetto()
 	}
 	return res
 }
@@ -322,6 +347,10 @@ var figureTables = map[string]func(harness.FigOptions) (*stats.Table, error){
 	"fig20":  harness.Fig20,
 	"fig21":  harness.Fig21,
 	"area":   func(harness.FigOptions) (*stats.Table, error) { return harness.AreaTable(), nil },
+
+	// Time-resolved views built on the interval-sampling registry.
+	"occupancy":     harness.FigOccupancy,
+	"mpki-interval": harness.FigIntervalMPKI,
 }
 
 // RenderFigureCSV regenerates a figure as comma-separated values.
@@ -358,6 +387,8 @@ var figureFns = map[string]func(harness.FigOptions) (string, error){
 	"ablations": func(f harness.FigOptions) (string, error) {
 		return harness.Ablations(f)
 	},
+	"occupancy":     func(f harness.FigOptions) (string, error) { return tbl(harness.FigOccupancy(f)) },
+	"mpki-interval": func(f harness.FigOptions) (string, error) { return tbl(harness.FigIntervalMPKI(f)) },
 }
 
 func tbl(t interface{ String() string }, err error) (string, error) {
