@@ -36,6 +36,10 @@ func main() {
 	flag.Parse()
 
 	opts := minnow.FigureOptions{Threads: *threads, Scale: *scale, Seed: *seed, Quick: *quick, Jobs: *jobs}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 
 	names := minnow.Figures()
 	if *only != "" {

@@ -7,6 +7,7 @@
 //
 //	minnowsim -bench SSSP -threads 16 -minnow -prefetch
 //	minnowsim -bench CC -minnow -prefetch -verify-determinism
+//	minnowsim -bench SSSP -minnow -prefetch -faults transient -invariants
 package main
 
 import (
@@ -40,8 +41,20 @@ func main() {
 		timeline = flag.String("timeline", "", "write a Chrome-trace/Perfetto timeline JSON to this file")
 		every    = flag.Int64("metrics-every", 0, "sample time-series metrics every N simulated cycles")
 		metrics  = flag.String("metrics", "metrics.csv", "interval-metrics CSV path (with -metrics-every)")
+		faults   = flag.String("faults", "", "fault-injection plan: a preset (transient, offline, chaos) or clause expression (see docs/ROBUSTNESS.md)")
+		invar    = flag.Bool("invariants", false, "enable runtime invariant checking and the no-progress watchdog")
+		maxCyc   = flag.Int64("max-cycles", 0, "halt with a diagnostic snapshot past this many simulated cycles (0 = large default)")
 	)
 	flag.Parse()
+
+	// -sched defaults to obim for software runs; with -minnow the engine
+	// owns the worklist, so only an explicit -sched should conflict.
+	schedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sched" {
+			schedSet = true
+		}
+	})
 
 	cfg := minnow.Config{
 		Threads:        *threads,
@@ -59,9 +72,19 @@ func main() {
 		TraceEvents:    *traceN,
 		MetricsEvery:   *every,
 		Timeline:       *timeline != "",
+		Faults:         *faults,
+		Invariants:     *invar,
+		MaxCycles:      *maxCyc,
 	}
 	if *serial {
 		cfg.Threads = 1
+	}
+	if *useMin && !schedSet {
+		cfg.Scheduler = ""
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "minnowsim:", err)
+		os.Exit(1)
 	}
 	if *verify {
 		if *graphIn != "" {

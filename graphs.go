@@ -175,11 +175,14 @@ func RunGraph(benchmark string, g *Graph, source int32, cfg Config) (*Result, er
 		}
 		panic("unreachable: SpecByName validated the name")
 	}
-	o := cfg.toOptions()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o, err := cfg.toOptions()
+	if err != nil {
+		return nil, err
+	}
 	if cfg.CustomPrefetch != nil {
-		if !cfg.Minnow || !cfg.Prefetch {
-			return nil, fmt.Errorf("minnow: CustomPrefetch requires Minnow and Prefetch")
-		}
 		f := cfg.CustomPrefetch
 		// Build runs (and sets `bound`) before any engine starts.
 		o.CustomPrefetch = &core.FuncProgram{F: func(t worklist.Task, emit func(addrs ...uint64)) {

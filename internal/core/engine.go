@@ -32,6 +32,9 @@
 package core
 
 import (
+	"fmt"
+
+	"minnow/internal/fault"
 	"minnow/internal/mem"
 	"minnow/internal/obs"
 	"minnow/internal/sim"
@@ -140,6 +143,17 @@ type Engine struct {
 	TL    *obs.Timeline
 	Track obs.TrackID
 
+	// Inj, when non-nil, is the deterministic fault injector (set by the
+	// harness). Nil in fault-free runs, costing one comparison per
+	// decision point.
+	Inj *fault.Injector
+	// FaultID is this engine's index in the fault plan's engine space.
+	FaultID int
+
+	offline bool // an injected fault took this engine permanently offline
+	marked  int  // prefetch-marked L2 lines whose credit is outstanding
+	lost    int  // credits dropped in flight by injected credit-loss faults
+
 	Stat stats.EngineStats
 }
 
@@ -161,8 +175,35 @@ func NewSharedEngine(coreIDs []int, cfg Config, m *mem.System, gwl *GlobalWL) *E
 	if len(coreIDs) == 0 {
 		panic("core: engine needs at least one core")
 	}
+	// Normalize nonsensical structure sizes to the §5.1 defaults rather
+	// than running a broken engine: LoadBuf <= 0 made loadFor divide by a
+	// zero-length ring, and LocalQ/ThreadletQ/FillChunk <= 0 livelocked
+	// the spill/fill path (every enqueue spills, every fill streams zero
+	// tasks). Valid configurations pass through untouched.
+	def := DefaultConfig()
+	if cfg.LocalQ <= 0 {
+		cfg.LocalQ = def.LocalQ
+	}
+	if cfg.LocalQLatency < 0 {
+		cfg.LocalQLatency = def.LocalQLatency
+	}
+	if cfg.ThreadletQ <= 0 {
+		cfg.ThreadletQ = def.ThreadletQ
+	}
+	if cfg.LoadBuf <= 0 {
+		cfg.LoadBuf = def.LoadBuf
+	}
+	if cfg.FillChunk <= 0 {
+		cfg.FillChunk = def.FillChunk
+	}
 	if cfg.SpillBatch <= 0 {
-		cfg.SpillBatch = 16
+		cfg.SpillBatch = def.SpillBatch
+	}
+	if cfg.RefillThreshold < 0 {
+		cfg.RefillThreshold = 0
+	}
+	if cfg.Credits < 0 {
+		cfg.Credits = 0
 	}
 	e := &Engine{
 		CoreID:   coreIDs[0],
@@ -307,7 +348,16 @@ func (e *Engine) EnqueueFrom(coreID int, t worklist.Task, coreNow sim.Time) sim.
 		if e.clock < done {
 			e.clock = done
 		}
-		e.spillOnce()
+		if len(e.spillQ) > 0 {
+			e.spillOnce()
+		} else if !e.step() {
+			// The backlog is entirely pending fills and nothing is
+			// runnable right now (tiny shared-engine configurations).
+			// Draining an empty spill queue would spin forever; accept
+			// the task into the spill queue and let the back-end catch
+			// up when it wakes.
+			break
+		}
 		if done < e.clock {
 			done = e.clock
 		}
@@ -374,6 +424,11 @@ func (e *Engine) Flush(coreNow sim.Time) sim.Time {
 		fe.localBucket = noBucket
 		fe.streams = fe.streams[:0]
 	}
+	// Tasks still waiting for a spill threadlet are part of the flush
+	// contract too — leaving them stranded would lose work across a
+	// context switch. Empty in ordinary shutdown (termination implies the
+	// spill queue drained), so this is free in passing runs.
+	e.drainSpills()
 	return e.clock
 }
 
@@ -419,6 +474,19 @@ func (e *Engine) startPrefetch(fe *frontEnd, t worklist.Task, seq int64, at sim.
 
 // Step implements sim.Actor: execute one threadlet.
 func (e *Engine) Step() (sim.Time, bool) {
+	if e.offline {
+		return e.clock, true // dead engine: park forever
+	}
+	if e.Inj != nil {
+		if d := e.Inj.EngineStall(); d > 0 {
+			// Injected back-end stall: the engine freezes for d cycles
+			// and retries the threadlet afterwards.
+			e.clock += d
+			e.Stat.FaultStalls++
+			e.Stat.StepsRun++
+			return e.clock, false
+		}
+	}
 	e.Stat.StepsRun++
 	if !e.step() {
 		e.Stat.Parks++
@@ -577,9 +645,26 @@ func (e *Engine) loadFor(core int, addr uint64, kind mem.Kind) mem.Result {
 }
 
 // load issues an engine load through the attach-point core's L2
-// (worklist spill/fill traffic).
+// (worklist spill/fill traffic). Under an injected spill-retry fault the
+// access transiently fails and is reissued after a bounded exponential
+// backoff (the injector caps the attempt count, so the loop terminates).
 func (e *Engine) load(addr uint64, kind mem.Kind) mem.Result {
-	return e.loadFor(e.CoreID, addr, kind)
+	res := e.loadFor(e.CoreID, addr, kind)
+	if e.Inj != nil {
+		for attempt := 1; ; attempt++ {
+			backoff, failed := e.Inj.SpillRetry(attempt)
+			if !failed {
+				break
+			}
+			e.Stat.SpillRetries++
+			if e.clock < res.Done {
+				e.clock = res.Done
+			}
+			e.clock += backoff
+			res = e.loadFor(e.CoreID, addr, kind)
+		}
+	}
+	return res
 }
 
 // stepPrefetch runs one prefetch threadlet: the next chunk of fe's oldest
@@ -606,12 +691,25 @@ func (e *Engine) stepPrefetch(fe *frontEnd) bool {
 	}
 	st := fe.streams[0]
 	if e.credits <= 0 {
-		// Out of credits: pause prefetching until a credit returns
-		// (OnCredit wakes us).
-		e.Stat.CreditStalls++
-		e.Trace.Emit(e.clock, e.CoreID, fe.coreID, trace.EvCreditStall, 0)
-		e.TL.Instant(e.Track, obs.EvCreditStall, e.clock, 0)
-		return false
+		if e.lost > 0 && e.marked == 0 {
+			// Credit-leak audit (§5.3.1's pool is the prefetcher's only
+			// throttle, so a leaked credit starves it forever): every
+			// marked line has been consumed or evicted, yet the pool is
+			// still empty — the remaining deficit can only be credits
+			// dropped in flight. Re-mint them.
+			e.credits += e.lost
+			e.Stat.CreditsRecovered += int64(e.lost)
+			e.Inj.RecordRecovered(e.lost)
+			e.lost = 0
+		}
+		if e.credits <= 0 {
+			// Out of credits: pause prefetching until a credit returns
+			// (OnCredit wakes us).
+			e.Stat.CreditStalls++
+			e.Trace.Emit(e.clock, e.CoreID, fe.coreID, trace.EvCreditStall, 0)
+			e.TL.Instant(e.Track, obs.EvCreditStall, e.clock, 0)
+			return false
+		}
 	}
 	var ok bool
 	st.buf, ok = st.s.Next(st.buf[:0])
@@ -636,6 +734,7 @@ func (e *Engine) stepPrefetch(fe *frontEnd) bool {
 		prevDone = res.Done
 		e.Stat.Prefetches++
 		if res.Marked {
+			e.marked++
 			e.credits--
 			if e.credits <= 0 && i < len(st.buf)-1 {
 				// Mid-threadlet credit exhaustion: the remaining loads
@@ -650,8 +749,21 @@ func (e *Engine) stepPrefetch(fe *frontEnd) bool {
 }
 
 // CreditReturn is called by the memory system hook when a prefetch-marked
-// line in one of this engine's cores' L2s is consumed or evicted.
+// line in one of this engine's cores' L2s is consumed or evicted. Under
+// an injected credit-loss fault the return is dropped in flight; the leak
+// audit in stepPrefetch eventually recovers the pool.
 func (e *Engine) CreditReturn(used bool) {
+	if e.marked > 0 {
+		e.marked--
+		if e.Inj != nil && e.Inj.LoseCredit() {
+			e.lost++
+			e.Stat.CreditsLost++
+			if e.streamCount() > 0 && e.wake != nil {
+				e.wake(e.clock) // let the leak audit run
+			}
+			return
+		}
+	}
 	e.credits++
 	if e.credits > e.cfg.Credits {
 		e.credits = e.cfg.Credits
@@ -659,4 +771,53 @@ func (e *Engine) CreditReturn(used bool) {
 	if e.streamCount() > 0 && e.wake != nil {
 		e.wake(e.clock)
 	}
+}
+
+// MarkedOutstanding returns how many prefetch-marked L2 lines have not
+// yet returned their credit (invariant audits).
+func (e *Engine) MarkedOutstanding() int { return e.marked }
+
+// CheckCredits audits the §5.3.1 credit identity at a quiescent point:
+// the pool must never be overfull, and credits + marked-outstanding +
+// injected-losses must equal the configured pool. Engines whose cores
+// also run a hardware prefetcher are exempt — hwpf-marked lines trigger
+// spurious (clamped) returns — and the harness skips them.
+func (e *Engine) CheckCredits() error {
+	if e.cfg.Credits <= 0 {
+		return nil
+	}
+	if e.credits > e.cfg.Credits {
+		return fmt.Errorf("core: engine@%d credits %d exceed pool %d", e.CoreID, e.credits, e.cfg.Credits)
+	}
+	if got := e.credits + e.marked + e.lost; got != e.cfg.Credits {
+		return fmt.Errorf("core: engine@%d credit leak: credits %d + marked %d + lost %d = %d, want pool %d",
+			e.CoreID, e.credits, e.marked, e.lost, got, e.cfg.Credits)
+	}
+	return nil
+}
+
+// Offline reports whether an injected fault took this engine permanently
+// offline.
+func (e *Engine) Offline() bool { return e.offline }
+
+// TakeOffline kills the engine (engine-offline fault injection): every
+// task resident in its queues — local queues and tasks awaiting spill
+// threadlets — is drained out and returned for rescue into the software
+// fallback worklist, pending fills and prefetch streams are cancelled,
+// and Step parks forever. The return order is deterministic (front-ends
+// in attach order, then the spill queue).
+func (e *Engine) TakeOffline() []worklist.Task {
+	e.offline = true
+	var out []worklist.Task
+	for _, fe := range e.fes {
+		out = append(out, fe.localQ...)
+		fe.localQ = nil
+		fe.localBucket = noBucket
+		fe.streams = nil
+		fe.doFill = false
+	}
+	out = append(out, e.spillQ...)
+	e.spillQ = nil
+	e.Stat.Rescued += int64(len(out))
+	return out
 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"minnow/internal/fault"
+	"minnow/internal/graph"
+	"minnow/internal/mem"
+	"minnow/internal/sim"
+)
+
+// testEngineWithGWL is testEngine but keeps the global worklist handle.
+func testEngineWithGWL(cfg Config) (*Engine, *GlobalWL) {
+	as := graph.NewAddrSpace()
+	mcfg := mem.DefaultConfig(1)
+	mcfg.ScaleCaches(16)
+	msys := mem.NewSystem(mcfg)
+	gwl := NewGlobalWL(as, 1, 1)
+	e := NewEngine(0, cfg, msys, gwl)
+	msys.OnCredit = func(c int, used bool) { e.CreditReturn(used) }
+	return e, gwl
+}
+
+// TestDegenerateConfigNormalized feeds NewSharedEngine structure sizes
+// that used to panic (LoadBuf modulo zero) or livelock (zero-capacity
+// queues) and checks the engine still round-trips tasks.
+func TestDegenerateConfigNormalized(t *testing.T) {
+	cfg := Config{
+		LocalQ:          -4,
+		LocalQLatency:   -1,
+		ThreadletQ:      0,
+		LoadBuf:         0,
+		FillChunk:       -1,
+		SpillBatch:      0,
+		RefillThreshold: -7,
+		Credits:         -2,
+		LgInterval:      3,
+	}
+	e, _ := testEngineWithGWL(cfg)
+	if got := e.Config(); got.LocalQ <= 0 || got.ThreadletQ <= 0 || got.LoadBuf <= 0 ||
+		got.FillChunk <= 0 || got.SpillBatch <= 0 || got.Credits < 0 ||
+		got.RefillThreshold < 0 || got.LocalQLatency < 0 {
+		t.Fatalf("config not normalized: %+v", got)
+	}
+	const n = 100
+	for i := int32(0); i < n; i++ {
+		e.Enqueue(task(int64(i%5), i), sim.Time(i*10))
+	}
+	drainEngine(e)
+	seen := map[int32]bool{}
+	now := sim.Time(10_000)
+	for guard := 0; len(seen) < n && guard < 100_000; guard++ {
+		tk, ready, ok := e.Dequeue(now)
+		now = ready + 20
+		if ok {
+			if seen[tk.Node] {
+				t.Fatalf("task %d dequeued twice", tk.Node)
+			}
+			seen[tk.Node] = true
+			continue
+		}
+		drainEngine(e)
+	}
+	if len(seen) != n {
+		t.Fatalf("recovered %d of %d tasks", len(seen), n)
+	}
+}
+
+// TestTakeOfflineConservation kills an engine mid-stream and checks no
+// task is lost: rescued tasks + global-worklist residue == enqueued.
+func TestTakeOfflineConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prefetch = false
+	cfg.LocalQ = 8 // small, so plenty spills
+	e, gwl := testEngineWithGWL(cfg)
+	const n = 200
+	for i := int32(0); i < n; i++ {
+		e.Enqueue(task(int64(i%7), i), sim.Time(i*5))
+	}
+	// Kill it mid-flight: some tasks sit in the local queue, some in the
+	// spill queue, some already made it to the global worklist.
+	for i := 0; i < 50; i++ {
+		e.Step()
+	}
+	rescued := e.TakeOffline()
+	residue := gwl.DrainAll()
+	seen := map[int32]bool{}
+	for _, tk := range append(rescued, residue...) {
+		if seen[tk.Node] {
+			t.Fatalf("task %d appears twice after rescue", tk.Node)
+		}
+		seen[tk.Node] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("rescue lost tasks: %d of %d accounted for", len(seen), n)
+	}
+	if !e.Offline() {
+		t.Fatalf("engine not marked offline")
+	}
+	if e.Stat.Rescued != int64(len(rescued)) {
+		t.Fatalf("Rescued stat %d, want %d", e.Stat.Rescued, len(rescued))
+	}
+	// A dead engine must refuse work and park forever.
+	if _, done := e.Step(); !done {
+		t.Fatalf("offline engine still stepping")
+	}
+}
+
+// TestEngineStallInjection checks a heavy stall plan charges stall
+// cycles on the engine back-end and counts them, without losing any
+// task. (p=1 would freeze the back-end outright — that shape is the
+// watchdog's to catch, not a drain test's.)
+func TestEngineStallInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prefetch = false
+	cfg.LocalQ = 4 // force spill traffic through the back-end
+	e, _ := testEngineWithGWL(cfg)
+	plan, err := fault.ParsePlan("seed=3;engine-stall:p=0.5,cycles=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Inj = fault.NewInjector(plan)
+	for i := int32(0); i < 32; i++ {
+		e.Enqueue(task(0, i), sim.Time(i*10))
+	}
+	drainEngine(e)
+	if e.Stat.FaultStalls == 0 {
+		t.Fatalf("p=1 stall plan injected no stalls")
+	}
+	if e.Stat.Spills == 0 {
+		t.Fatalf("stalled engine did no work")
+	}
+}
+
+// TestSpillRetryInjection checks a p=1 spill-retry plan exercises the
+// bounded backoff loop and still lands every spill.
+func TestSpillRetryInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prefetch = false
+	cfg.LocalQ = 4
+	e, gwl := testEngineWithGWL(cfg)
+	plan, err := fault.ParsePlan("seed=3;spill-retry:p=1,backoff=16,max=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Inj = fault.NewInjector(plan)
+	const n = 64
+	for i := int32(0); i < n; i++ {
+		e.Enqueue(task(0, i), sim.Time(i*10))
+	}
+	drainEngine(e)
+	if e.Stat.SpillRetries == 0 {
+		t.Fatalf("p=1 spill-retry plan caused no retries")
+	}
+	got := e.LocalLen() + gwl.Len()
+	if got != n {
+		t.Fatalf("tasks after retried spills: %d, want %d", got, n)
+	}
+}

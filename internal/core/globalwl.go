@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"minnow/internal/graph"
 	"minnow/internal/mem"
 	"minnow/internal/sim"
@@ -59,6 +61,30 @@ func NewGlobalWL(as *graph.AddrSpace, cores, sockets int) *GlobalWL {
 
 // Len returns the queued task count (bookkeeping).
 func (g *GlobalWL) Len() int { return g.size }
+
+// DrainAll removes and returns every queued task (engine-offline rescue).
+// Tasks come out in deterministic order — shards in index order, buckets
+// ascending within a shard (map iteration order must not leak into the
+// simulation) — with no memory traffic charged: the rescue path models a
+// software recovery routine whose cost the fallback worklist's own
+// operations dominate.
+func (g *GlobalWL) DrainAll() []worklist.Task {
+	var out []worklist.Task
+	for _, s := range g.shards {
+		bs := make([]int64, 0, len(s.buckets))
+		for b := range s.buckets {
+			bs = append(bs, b)
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		for _, b := range bs {
+			out = append(out, s.buckets[b]...)
+		}
+		s.buckets = make(map[int64][]worklist.Task)
+		s.minB = noBucket
+	}
+	g.size = 0
+	return out
+}
 
 // MinBucket returns the lowest bucket number queued anywhere (noBucket
 // when empty). Zero-cost bookkeeping the engine's refill heuristic reads;

@@ -36,6 +36,11 @@ type Memory struct {
 	Accesses  int64
 	StallCyc  int64 // cycles requests waited for a busy channel
 	PeakQueue sim.Time
+
+	// FaultRetry, when non-nil, returns injected retry latency added to
+	// each access (deterministic fault injection). Nil in fault-free runs,
+	// costing one comparison per access.
+	FaultRetry func() sim.Time
 }
 
 // New returns a memory with the given configuration. Channels must be >= 1.
@@ -76,7 +81,11 @@ func (m *Memory) Access(lineAddr uint64, t sim.Time) sim.Time {
 	if start+m.cfg.ServiceCycles > m.nextFree[ch] {
 		m.nextFree[ch] = start + m.cfg.ServiceCycles
 	}
-	return start + m.cfg.LatencyCycles
+	done := start + m.cfg.LatencyCycles
+	if m.FaultRetry != nil {
+		done += m.FaultRetry()
+	}
+	return done
 }
 
 // BusyChannels returns how many channels hold a service reservation

@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"minnow/internal/rng"
+	"minnow/internal/sim"
+	"minnow/internal/stats"
+)
+
+// Stream-decorrelation constants XORed into the plan seed so each fault
+// domain draws from an independent rng sequence: a clause added to the
+// plan never perturbs the decisions of the other clauses.
+const (
+	seedEngine = 0x6d696e6e6f770001
+	seedNoC    = 0x6d696e6e6f770002
+	seedDRAM   = 0x6d696e6e6f770003
+	seedSpill  = 0x6d696e6e6f770004
+	seedCredit = 0x6d696e6e6f770005
+)
+
+// Injector makes all injection decisions for one run. It is not safe for
+// concurrent use; the simulator is single-threaded per run, so every
+// decision point is reached in a deterministic order and the streams
+// replay exactly for a given plan. A nil *Injector is inert: every method
+// reports "no fault".
+type Injector struct {
+	plan *Plan
+
+	engine *rng.Rand
+	noc    *rng.Rand
+	dram   *rng.Rand
+	spill  *rng.Rand
+	credit *rng.Rand
+
+	// Stats accumulates what was actually injected; the harness copies it
+	// into the RunSummary, so it must itself be deterministic.
+	Stats stats.FaultStats
+}
+
+// NewInjector builds the per-run injector for a plan.
+func NewInjector(p *Plan) *Injector {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{
+		plan:   p,
+		engine: rng.New(seed ^ seedEngine),
+		noc:    rng.New(seed ^ seedNoC),
+		dram:   rng.New(seed ^ seedDRAM),
+		spill:  rng.New(seed ^ seedSpill),
+		credit: rng.New(seed ^ seedCredit),
+	}
+}
+
+// Plan returns the plan this injector executes.
+func (i *Injector) Plan() *Plan { return i.plan }
+
+// EngineStall returns the injected stall length for one engine step, or 0.
+// Draws from the engine stream only when the plan has a stall clause, so
+// other clauses' decisions are unaffected by its presence.
+func (i *Injector) EngineStall() sim.Time {
+	if i == nil || i.plan.EngineStall.P <= 0 {
+		return 0
+	}
+	if i.engine.Float64() >= i.plan.EngineStall.P {
+		return 0
+	}
+	d := i.plan.EngineStall.Cycles
+	i.Stats.EngineStalls++
+	i.Stats.EngineStallCyc += int64(d)
+	return d
+}
+
+// NoCDelay returns the injected extra latency for one mesh message, or 0.
+// Installed as the mesh's FaultDelay hook only when the clause is present.
+func (i *Injector) NoCDelay() sim.Time {
+	if i.noc.Float64() >= i.plan.NoCDelay.P {
+		return 0
+	}
+	d := i.plan.NoCDelay.Cycles
+	i.Stats.NoCDelays++
+	i.Stats.NoCDelayCyc += int64(d)
+	return d
+}
+
+// DRAMRetry returns the injected retry latency for one DRAM access (0 when
+// no round failed). Installed as the DRAM FaultRetry hook only when the
+// clause is present.
+func (i *Injector) DRAMRetry() sim.Time {
+	var d sim.Time
+	for n := 0; n < i.plan.DRAMRetry.Max; n++ {
+		if i.dram.Float64() >= i.plan.DRAMRetry.P {
+			break
+		}
+		d += i.plan.DRAMRetry.Extra
+		i.Stats.DRAMRetries++
+	}
+	i.Stats.DRAMRetryCyc += int64(d)
+	return d
+}
+
+// SpillRetry decides whether spill/fill attempt n (1-based) transiently
+// fails. On failure it returns (backoff, true) where backoff doubles per
+// attempt — the engine waits that long and reissues the access. Attempts
+// beyond the plan's bound always succeed, so retry loops terminate.
+func (i *Injector) SpillRetry(attempt int) (sim.Time, bool) {
+	if i == nil || i.plan.SpillRetry.P <= 0 || attempt > i.plan.SpillRetry.Max {
+		return 0, false
+	}
+	if i.spill.Float64() >= i.plan.SpillRetry.P {
+		return 0, false
+	}
+	back := i.plan.SpillRetry.Backoff << uint(attempt-1)
+	i.Stats.SpillRetries++
+	i.Stats.SpillBackoffCyc += int64(back)
+	return back, true
+}
+
+// LoseCredit decides whether one prefetch credit return is dropped in
+// flight. Draws from the credit stream only when the plan has a
+// credit-loss clause.
+func (i *Injector) LoseCredit() bool {
+	if i == nil || i.plan.CreditLoss <= 0 {
+		return false
+	}
+	if i.credit.Float64() >= i.plan.CreditLoss {
+		return false
+	}
+	i.Stats.CreditsLost++
+	return true
+}
+
+// EngineOfflineAt returns the planned death time for the given engine
+// index and whether the plan kills it at all. Pure plan lookup — no rng.
+func (i *Injector) EngineOfflineAt(engine int) (sim.Time, bool) {
+	if i == nil || i.plan.OfflineAt <= 0 {
+		return 0, false
+	}
+	if i.plan.OfflineEngines == nil {
+		return i.plan.OfflineAt, true
+	}
+	for _, e := range i.plan.OfflineEngines {
+		if e == engine {
+			return i.plan.OfflineAt, true
+		}
+	}
+	return 0, false
+}
+
+// RecordOffline accounts one engine death and the tasks rescued from it
+// into the software fallback worklist.
+func (i *Injector) RecordOffline(rescued int) {
+	i.Stats.EnginesOffline++
+	i.Stats.Rescued += int64(rescued)
+}
+
+// RecordRecovered accounts credits re-minted by an engine's credit-leak
+// audit.
+func (i *Injector) RecordRecovered(n int) {
+	i.Stats.CreditsRecovered += int64(n)
+}

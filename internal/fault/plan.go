@@ -1,0 +1,330 @@
+// Package fault implements deterministic, seeded fault injection and the
+// diagnostic machinery around it: parseable fault plans, a per-run
+// injector whose decisions derive from decorrelated rng streams, and the
+// watchdog snapshot dumped when a run stops making progress.
+//
+// The paper's central robustness claim is that Minnow engines are
+// *optional accelerators* (§3-§4): when an engine stalls, loses credits,
+// or disappears, the cores must degrade gracefully to the software OBIM
+// baseline with no lost tasks. This package supplies the controlled ways
+// to break the system so the harness can prove that claim:
+//
+//   - engine-stall: the engine back-end freezes for a burst of cycles;
+//   - engine-offline: the engine dies permanently at a planned time and
+//     its cores fall back to a software worklist mid-run;
+//   - noc-delay: transient message-latency spikes on the mesh;
+//   - dram-retry: transient DRAM retry latency;
+//   - spill-retry: the engine's spill/fill accesses transiently fail and
+//     are reissued under bounded exponential backoff;
+//   - credit-loss: prefetch credit returns are dropped, exercising the
+//     engine's credit-leak audit and pool recovery.
+//
+// Determinism contract: every injection decision comes from rng streams
+// seeded by the plan alone, and the simulator consults the injector in
+// the deterministic actor order, so the same (configuration, seed, plan)
+// triple always reproduces the same faults at the same simulated times —
+// and therefore the same RunSummary hash. With no plan installed every
+// hook is nil or a single comparison; fault-free runs are byte-identical
+// to a build without this package.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"minnow/internal/sim"
+)
+
+// ProbDelay is a per-event fault: with probability P the event is delayed
+// by Cycles.
+type ProbDelay struct {
+	P      float64
+	Cycles sim.Time
+}
+
+// RetrySpec is a per-access retry fault: each of up to Max rounds fails
+// independently with probability P, adding Extra cycles per failed round.
+type RetrySpec struct {
+	P     float64
+	Extra sim.Time
+	Max   int
+}
+
+// BackoffSpec is a retry-with-backoff fault: attempt n fails with
+// probability P (so the chance of reaching attempt n decays
+// geometrically), costs Backoff<<(n-1) cycles of exponential backoff,
+// and gives up after Max attempts.
+type BackoffSpec struct {
+	P       float64
+	Backoff sim.Time
+	Max     int
+}
+
+// Plan is one parsed fault plan. The zero value injects nothing.
+type Plan struct {
+	// Seed drives the injector's rng streams (0 is treated as 1).
+	Seed uint64
+
+	// EngineStall freezes an engine back-end for Cycles with probability
+	// P per engine step.
+	EngineStall ProbDelay
+	// NoCDelay adds Cycles to a mesh message with probability P.
+	NoCDelay ProbDelay
+	// DRAMRetry adds retry latency to DRAM accesses.
+	DRAMRetry RetrySpec
+	// SpillRetry makes engine spill/fill memory accesses transiently
+	// fail; the engine reissues them under bounded exponential backoff.
+	SpillRetry BackoffSpec
+	// CreditLoss drops each prefetch credit return with this probability.
+	CreditLoss float64
+
+	// OfflineAt, when positive, kills engines permanently the first time
+	// one of their cores touches them at or after this simulated time.
+	OfflineAt sim.Time
+	// OfflineEngines selects which engine indices die (nil = all).
+	OfflineEngines []int
+}
+
+// Transient reports whether the plan contains only recoverable faults
+// (no permanent engine-offline events). Transient plans must leave
+// benchmark answers bit-identical to the fault-free run.
+func (p *Plan) Transient() bool { return p.OfflineAt <= 0 }
+
+// String renders the plan in canonical clause form; ParsePlan(p.String())
+// reproduces the plan.
+func (p *Plan) String() string {
+	var cl []string
+	if p.Seed != 0 {
+		cl = append(cl, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.EngineStall.P > 0 {
+		cl = append(cl, fmt.Sprintf("engine-stall:p=%g,cycles=%d", p.EngineStall.P, p.EngineStall.Cycles))
+	}
+	if p.OfflineAt > 0 {
+		c := fmt.Sprintf("engine-offline:at=%d", p.OfflineAt)
+		if len(p.OfflineEngines) > 0 {
+			strs := make([]string, len(p.OfflineEngines))
+			for i, e := range p.OfflineEngines {
+				strs[i] = strconv.Itoa(e)
+			}
+			c += ",engines=" + strings.Join(strs, "+")
+		}
+		cl = append(cl, c)
+	}
+	if p.NoCDelay.P > 0 {
+		cl = append(cl, fmt.Sprintf("noc-delay:p=%g,cycles=%d", p.NoCDelay.P, p.NoCDelay.Cycles))
+	}
+	if p.DRAMRetry.P > 0 {
+		cl = append(cl, fmt.Sprintf("dram-retry:p=%g,extra=%d,max=%d", p.DRAMRetry.P, p.DRAMRetry.Extra, p.DRAMRetry.Max))
+	}
+	if p.SpillRetry.P > 0 {
+		cl = append(cl, fmt.Sprintf("spill-retry:p=%g,backoff=%d,max=%d", p.SpillRetry.P, p.SpillRetry.Backoff, p.SpillRetry.Max))
+	}
+	if p.CreditLoss > 0 {
+		cl = append(cl, fmt.Sprintf("credit-loss:p=%g", p.CreditLoss))
+	}
+	return strings.Join(cl, ";")
+}
+
+// Presets are the named fault plans accepted wherever a plan string is:
+// "transient" (every recoverable fault class at once), "offline" (all
+// engines die mid-run), and "chaos" (both).
+var presets = map[string]string{
+	"transient": "seed=1;engine-stall:p=0.002,cycles=400;noc-delay:p=0.001,cycles=150;" +
+		"dram-retry:p=0.002,extra=120,max=2;spill-retry:p=0.005,backoff=64,max=4;credit-loss:p=0.05",
+	"offline": "seed=1;engine-offline:at=50000",
+	"chaos": "seed=1;engine-stall:p=0.002,cycles=400;noc-delay:p=0.001,cycles=150;" +
+		"dram-retry:p=0.002,extra=120,max=2;spill-retry:p=0.005,backoff=64,max=4;credit-loss:p=0.05;" +
+		"engine-offline:at=50000",
+}
+
+// Presets lists the named plans accepted by ParsePlan, sorted.
+func Presets() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePlan parses a fault-plan string: either a preset name (see
+// Presets) or semicolon-separated clauses of the form
+//
+//	seed=N
+//	engine-stall:p=F,cycles=N
+//	engine-offline:at=N[,engines=0+1+...]
+//	noc-delay:p=F,cycles=N
+//	dram-retry:p=F[,extra=N][,max=N]
+//	spill-retry:p=F[,backoff=N][,max=N]
+//	credit-loss:p=F
+//
+// Probabilities must lie in [0, 1]; counts and cycle values must be
+// non-negative. Omitted optional keys take conservative defaults.
+func ParsePlan(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("fault: empty plan")
+	}
+	if preset, ok := presets[s]; ok {
+		s = preset
+	}
+	p := &Plan{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := p.parseClause(clause); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// parseClause folds one clause into the plan.
+func (p *Plan) parseClause(clause string) error {
+	name, argstr, _ := strings.Cut(clause, ":")
+	name = strings.TrimSpace(name)
+	if strings.Contains(name, "=") {
+		// Bare key=value clause (only "seed=N").
+		key, val, _ := strings.Cut(name, "=")
+		if key != "seed" {
+			return fmt.Errorf("fault: unknown clause %q", key)
+		}
+		seed, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return fmt.Errorf("fault: bad seed %q", val)
+		}
+		p.Seed = seed
+		return nil
+	}
+	args, err := parseArgs(name, argstr)
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "engine-stall":
+		p.EngineStall.P = args.prob("p", 0.001)
+		p.EngineStall.Cycles = sim.Time(args.num("cycles", 400))
+	case "engine-offline":
+		p.OfflineAt = sim.Time(args.num("at", 50000))
+		p.OfflineEngines = args.engines
+		if p.OfflineAt <= 0 {
+			return fmt.Errorf("fault: engine-offline needs at > 0")
+		}
+	case "noc-delay":
+		p.NoCDelay.P = args.prob("p", 0.001)
+		p.NoCDelay.Cycles = sim.Time(args.num("cycles", 150))
+	case "dram-retry":
+		p.DRAMRetry.P = args.prob("p", 0.001)
+		p.DRAMRetry.Extra = sim.Time(args.num("extra", 120))
+		p.DRAMRetry.Max = int(args.num("max", 2))
+	case "spill-retry":
+		p.SpillRetry.P = args.prob("p", 0.001)
+		p.SpillRetry.Backoff = sim.Time(args.num("backoff", 64))
+		p.SpillRetry.Max = int(args.num("max", 4))
+	case "credit-loss":
+		p.CreditLoss = args.prob("p", 0.01)
+	default:
+		return fmt.Errorf("fault: unknown clause %q (have engine-stall, engine-offline, noc-delay, dram-retry, spill-retry, credit-loss, seed)", name)
+	}
+	if args.err != nil {
+		return args.err
+	}
+	return args.unknown()
+}
+
+// unknown rejects keys the clause never consumed — a silently ignored
+// typo (cycle= for cycles=) would make a fault plan lie about itself.
+func (a *clauseArgs) unknown() error {
+	var extra []string
+	for k := range a.vals {
+		if !a.used[k] {
+			extra = append(extra, k)
+		}
+	}
+	if len(extra) == 0 {
+		return nil
+	}
+	sort.Strings(extra)
+	return fmt.Errorf("fault: %s: unknown key(s) %s", a.clause, strings.Join(extra, ", "))
+}
+
+// clauseArgs holds one clause's parsed key=value pairs plus the first
+// validation error hit while reading them out.
+type clauseArgs struct {
+	clause  string
+	vals    map[string]string
+	used    map[string]bool
+	engines []int
+	err     error
+}
+
+func parseArgs(clause, argstr string) (*clauseArgs, error) {
+	a := &clauseArgs{clause: clause, vals: map[string]string{}, used: map[string]bool{}}
+	argstr = strings.TrimSpace(argstr)
+	if argstr == "" {
+		return a, nil
+	}
+	for _, kv := range strings.Split(argstr, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("fault: %s: malformed argument %q", clause, kv)
+		}
+		if key == "engines" {
+			for _, es := range strings.Split(val, "+") {
+				e, err := strconv.Atoi(strings.TrimSpace(es))
+				if err != nil || e < 0 {
+					return nil, fmt.Errorf("fault: %s: bad engine index %q", clause, es)
+				}
+				a.engines = append(a.engines, e)
+			}
+			continue
+		}
+		if _, dup := a.vals[key]; dup {
+			return nil, fmt.Errorf("fault: %s: duplicate key %q", clause, key)
+		}
+		a.vals[key] = val
+	}
+	return a, nil
+}
+
+// prob reads a probability key, defaulting when absent.
+func (a *clauseArgs) prob(key string, def float64) float64 {
+	a.used[key] = true
+	s, ok := a.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || v > 1 {
+		a.fail("%s: %s=%q is not a probability in [0,1]", a.clause, key, s)
+		return 0
+	}
+	return v
+}
+
+// num reads a non-negative integer key, defaulting when absent.
+func (a *clauseArgs) num(key string, def int64) int64 {
+	a.used[key] = true
+	s, ok := a.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		a.fail("%s: %s=%q is not a non-negative integer", a.clause, key, s)
+		return 0
+	}
+	return v
+}
+
+func (a *clauseArgs) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("fault: "+format, args...)
+	}
+}

@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"minnow/internal/stats"
+)
+
+// ActorState is one scheduled actor's position in the event queue: its ID
+// and the local time at which it will next step.
+type ActorState struct {
+	// ID is the actor's scheduler ID.
+	ID int
+	// At is the simulated time of the actor's next step.
+	At int64
+}
+
+// EngineState is one Minnow engine's state at snapshot time.
+type EngineState struct {
+	// Core is the engine's host core ID.
+	Core int
+	// Clock is the engine back-end's local time.
+	Clock int64
+	// Queued is the number of tasks resident in the engine's queues.
+	Queued int64
+	// Offline reports whether an injected fault killed the engine.
+	Offline bool
+}
+
+// Snapshot is the diagnostic state dump the watchdog produces instead of
+// hanging: enough of the simulator's live state — per-actor clocks,
+// worklist occupancy, outstanding memory-system transactions — to
+// diagnose a livelock or runaway run post mortem.
+type Snapshot struct {
+	// Reason says why the watchdog fired.
+	Reason string
+	// Now is the global simulated time when the watchdog fired.
+	Now int64
+	// Steps is the number of discrete-event steps executed so far.
+	Steps int64
+	// Applied is the number of operator applications completed.
+	Applied int64
+	// Outstanding is pushed-minus-completed tasks (termination counter).
+	Outstanding int64
+	// Occupancy is the number of tasks resident in all worklists.
+	Occupancy int64
+	// Actors lists every scheduled actor in deterministic (time, ID)
+	// order.
+	Actors []ActorState
+	// Engines lists per-engine state for Minnow runs.
+	Engines []EngineState
+	// NoCStallCyc is the cumulative cycles flits waited for mesh links.
+	NoCStallCyc int64
+	// DRAMStallCyc is the cumulative cycles requests queued at DRAM.
+	DRAMStallCyc int64
+	// DRAMBusy is the number of DRAM channels still busy at snapshot time.
+	DRAMBusy int
+	// Faults holds the injected-fault counters so far (nil when fault
+	// injection was off).
+	Faults *stats.FaultStats
+}
+
+// String renders the snapshot as an indented multi-line report, the text
+// embedded in the watchdog's error and written to diagnostic artifacts.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog: %s\n", s.Reason)
+	fmt.Fprintf(&b, "  time=%d steps=%d applied=%d outstanding=%d occupancy=%d\n",
+		s.Now, s.Steps, s.Applied, s.Outstanding, s.Occupancy)
+	fmt.Fprintf(&b, "  noc-stall-cyc=%d dram-stall-cyc=%d dram-busy-channels=%d\n",
+		s.NoCStallCyc, s.DRAMStallCyc, s.DRAMBusy)
+	if s.Faults != nil {
+		f := s.Faults
+		fmt.Fprintf(&b, "  faults: stalls=%d noc-delays=%d dram-retries=%d spill-retries=%d credits-lost=%d recovered=%d offline=%d rescued=%d\n",
+			f.EngineStalls, f.NoCDelays, f.DRAMRetries, f.SpillRetries,
+			f.CreditsLost, f.CreditsRecovered, f.EnginesOffline, f.Rescued)
+	}
+	b.WriteString("  actors (next-step time order):\n")
+	for _, a := range s.Actors {
+		fmt.Fprintf(&b, "    actor %3d at t=%d\n", a.ID, a.At)
+	}
+	if len(s.Engines) > 0 {
+		b.WriteString("  engines:\n")
+		for _, e := range s.Engines {
+			state := "online"
+			if e.Offline {
+				state = "OFFLINE"
+			}
+			fmt.Fprintf(&b, "    engine@core %3d clock=%d queued=%d %s\n",
+				e.Core, e.Clock, e.Queued, state)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

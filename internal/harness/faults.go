@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"minnow/internal/core"
+	"minnow/internal/fault"
+	"minnow/internal/galois"
+	"minnow/internal/mem"
+	"minnow/internal/sim"
+	"minnow/internal/stats"
+	"minnow/internal/worklist"
+)
+
+// watchdogEvery is how many actor steps pass between watchdog polls. The
+// poll is read-only, so the interval trades detection latency against
+// nothing but the (tiny) polling overhead.
+const watchdogEvery = 1 << 16
+
+// progressStrikes is how many consecutive polls may observe zero new
+// operator applications before the run is declared livelocked. Idle
+// tails between applications are orders of magnitude shorter than
+// progressStrikes*watchdogEvery steps, so false positives would require
+// a genuinely wedged scheduler.
+const progressStrikes = 64
+
+// watchdog carries the liveness-poll state installed on the event loop
+// and, after a halt, the reason the poll fired.
+type watchdog struct {
+	reason      string
+	lastApplied int64
+	strikes     int
+}
+
+// installWatchdog arms the event loop's liveness guard. The cycle-budget
+// arm is always on (MaxCycles defaults high enough that healthy runs
+// never trip it); the no-progress arm — operator applications stagnant
+// across progressStrikes consecutive polls — engages only for fault or
+// invariant runs, where injected stalls make livelock a real outcome.
+// The poll only reads simulator state, so arming it never perturbs a
+// run.
+func installWatchdog(eng *sim.Engine, o Options, inj *fault.Injector, runner *galois.Runner) *watchdog {
+	wd := &watchdog{lastApplied: -1}
+	progress := o.Invariants || inj != nil
+	eng.SetWatchdog(watchdogEvery, func() bool {
+		if int64(eng.Now()) > o.MaxCycles {
+			wd.reason = fmt.Sprintf("cycle budget exceeded: t=%d > max %d", eng.Now(), o.MaxCycles)
+			return true
+		}
+		if !progress {
+			return false
+		}
+		a := runner.Applied()
+		if a != wd.lastApplied {
+			wd.lastApplied, wd.strikes = a, 0
+			return false
+		}
+		wd.strikes++
+		if wd.strikes >= progressStrikes {
+			wd.reason = fmt.Sprintf("no progress: stuck at %d operator applications for %d steps",
+				a, int64(progressStrikes)*watchdogEvery)
+			return true
+		}
+		return false
+	})
+	return wd
+}
+
+// collectSnapshot assembles the diagnostic dump embedded in a watchdog
+// error: per-actor clocks, worklist occupancy, per-engine state, and the
+// memory system's outstanding-transaction counters.
+func collectSnapshot(reason string, eng *sim.Engine, runner *galois.Runner,
+	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist,
+	msys *mem.System, inj *fault.Injector) *fault.Snapshot {
+
+	s := &fault.Snapshot{
+		Reason:       reason,
+		Now:          int64(eng.Now()),
+		Steps:        eng.Steps(),
+		Applied:      runner.Applied(),
+		Outstanding:  runner.Outstanding(),
+		Occupancy:    occupancyFn(engines, gwl, swWL)(),
+		NoCStallCyc:  msys.Mesh.StallCyc,
+		DRAMStallCyc: msys.DRAM.StallCyc,
+		DRAMBusy:     int(msys.DRAM.BusyChannels(eng.Now())),
+	}
+	for _, q := range eng.Queued() {
+		s.Actors = append(s.Actors, fault.ActorState{ID: q.ID, At: int64(q.At)})
+	}
+	for _, e := range engines {
+		s.Engines = append(s.Engines, fault.EngineState{
+			Core:    e.CoreID,
+			Clock:   int64(e.Clock()),
+			Queued:  e.QueuedTasks(),
+			Offline: e.Offline(),
+		})
+	}
+	if inj != nil {
+		fs := inj.Stats
+		s.Faults = &fs
+	}
+	return s
+}
+
+// checkInvariants audits post-run sanity: task conservation (nothing
+// queued or outstanding after a clean drain, and each Conserved worklist
+// balances its push/pop ledger), per-engine credit-pool accounting
+// cross-checked against the L2s' actual marked lines, and the memory
+// system's directory/counter invariants. It returns one message per
+// violation, empty when clean.
+func checkInvariants(o Options, drained bool, runner *galois.Runner,
+	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) []string {
+
+	var v []string
+	if drained && !runner.TimedOut() {
+		if n := runner.Outstanding(); n != 0 {
+			v = append(v, fmt.Sprintf("task conservation: run drained with %d tasks outstanding", n))
+		}
+		if occ := occupancyFn(engines, gwl, swWL)(); occ != 0 {
+			v = append(v, fmt.Sprintf("task conservation: run drained with %d tasks still queued", occ))
+		}
+		if c, ok := swWL.(worklist.Conserved); ok {
+			if pushed, popped := c.Pushed(), c.Popped(); pushed != popped+int64(swWL.Len()) {
+				v = append(v, fmt.Sprintf("task conservation: %s pushed %d != popped %d + queued %d",
+					swWL.Name(), pushed, popped, swWL.Len()))
+			}
+		}
+	}
+	// Hardware prefetchers mark L2 lines outside the engine's credit
+	// protocol, so the credit ledger is only checkable without them.
+	if o.HWPrefetcher == "" {
+		for i, e := range engines {
+			if err := e.CheckCredits(); err != nil {
+				v = append(v, fmt.Sprintf("engine %d: %v", i, err))
+			}
+			if e.Offline() {
+				continue
+			}
+			if m, lines := e.MarkedOutstanding(), msys.PrefetchMarked(e.Cores()); m != lines {
+				v = append(v, fmt.Sprintf("engine %d: credit ledger says %d marked lines but its L2s hold %d",
+					i, m, lines))
+			}
+		}
+	}
+	return append(v, msys.CheckInvariants()...)
+}
+
+// chaosBenches and chaosPresets span the chaos sweep: every benchmark
+// runs fault-free and under each canonical fault plan.
+var chaosBenches = []string{"SSSP", "BFS", "CC"}
+var chaosPresets = []string{"", "transient", "offline", "chaos"}
+
+// ChaosCell is one benchmark x fault-plan outcome of the chaos sweep.
+type ChaosCell struct {
+	// Bench is the benchmark name.
+	Bench string
+	// Preset is the fault-plan preset ("" = fault-free baseline).
+	Preset string
+	// Hash is the run's deterministic summary fingerprint.
+	Hash string
+	// Faults holds the injected-fault counters (nil for the baseline).
+	Faults *stats.FaultStats
+	// Err is non-nil when the cell failed: a run error, an invariant
+	// violation, cross-run nondeterminism, or a plan that injected
+	// nothing.
+	Err error
+}
+
+// ChaosReport aggregates the chaos sweep's cells.
+type ChaosReport struct {
+	// Cells holds one entry per benchmark x preset, in sweep order.
+	Cells []ChaosCell
+}
+
+// Failed returns the cells that did not pass.
+func (r *ChaosReport) Failed() []ChaosCell {
+	var out []ChaosCell
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the report as an aligned text table.
+func (r *ChaosReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-10s %-6s %-14s %s\n", "bench", "plan", "state", "hash", "detail")
+	for _, c := range r.Cells {
+		preset := c.Preset
+		if preset == "" {
+			preset = "(none)"
+		}
+		state, detail := "ok", ""
+		if c.Err != nil {
+			state, detail = "FAIL", c.Err.Error()
+		} else if f := c.Faults; f != nil {
+			detail = fmt.Sprintf("stalls=%d noc=%d dram=%d spill=%d credit-lost=%d offline=%d rescued=%d",
+				f.EngineStalls, f.NoCDelays, f.DRAMRetries, f.SpillRetries,
+				f.CreditsLost, f.EnginesOffline, f.Rescued)
+		}
+		hash := c.Hash
+		if len(hash) > 12 {
+			hash = hash[:12]
+		}
+		fmt.Fprintf(&b, "%-6s %-10s %-6s %-14s %s\n", c.Bench, preset, state, hash, detail)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Err returns an aggregate error naming every failed cell, nil when the
+// whole sweep passed.
+func (r *ChaosReport) Err() error {
+	failed := r.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	names := make([]string, len(failed))
+	for i, c := range failed {
+		names[i] = fmt.Sprintf("%s/%s", c.Bench, c.Preset)
+	}
+	return fmt.Errorf("chaos sweep: %d/%d cells failed: %s", len(failed), len(r.Cells), strings.Join(names, ", "))
+}
+
+// Chaos runs the fault-injection sweep: each benchmark under the Minnow
+// scheduler, fault-free and under every canonical fault preset, with the
+// invariant checker armed and every cell executed twice to prove
+// seed-reproducibility. A cell passes when both runs complete, verify
+// against the kernel's reference answer (so faulty runs converge to the
+// same final answers as fault-free ones), hash identically, and — for
+// fault plans — actually injected something. Per-cell failures are
+// collected, not fatal, so one wedged cell cannot hide the rest.
+func Chaos(base Options, workers int) *ChaosReport {
+	var jobs []Job
+	rep := &ChaosReport{}
+	for _, bench := range chaosBenches {
+		for _, preset := range chaosPresets {
+			o := base
+			o.Scheduler = "minnow"
+			o.Prefetch = true
+			o.Invariants = true
+			cell := ChaosCell{Bench: bench, Preset: preset}
+			if preset != "" {
+				plan, err := fault.ParsePlan(preset)
+				if err != nil {
+					cell.Err = err
+				} else {
+					o.Faults = plan
+				}
+			}
+			rep.Cells = append(rep.Cells, cell)
+			// Each cell runs twice: identical hashes are the
+			// reproducibility proof.
+			jobs = append(jobs, Job{Bench: bench, Opts: o}, Job{Bench: bench, Opts: o})
+		}
+	}
+	results := RunJobs(jobs, workers)
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Err != nil {
+			continue
+		}
+		a, b := results[2*i], results[2*i+1]
+		switch {
+		case a.Err != nil:
+			c.Err = a.Err
+		case b.Err != nil:
+			c.Err = fmt.Errorf("repeat run: %w", b.Err)
+		default:
+			c.Hash = a.Run.Summary().Hash()
+			c.Faults = a.Run.Faults
+			if hb := b.Run.Summary().Hash(); c.Hash != hb {
+				c.Err = fmt.Errorf("nondeterministic under plan %q: %s != %s", c.Preset, c.Hash[:12], hb[:12])
+			}
+		}
+		if c.Err != nil || c.Preset == "" {
+			continue
+		}
+		f := c.Faults
+		switch {
+		case f == nil:
+			c.Err = fmt.Errorf("plan %q recorded no fault stats", c.Preset)
+		case (c.Preset == "offline" || c.Preset == "chaos") && f.EnginesOffline == 0:
+			c.Err = fmt.Errorf("plan %q never took an engine offline (run shorter than the at= trigger?)", c.Preset)
+		case c.Preset != "offline" && f.EngineStalls+f.NoCDelays+f.DRAMRetries+f.SpillRetries+f.CreditsLost == 0:
+			c.Err = fmt.Errorf("plan %q injected nothing", c.Preset)
+		}
+	}
+	return rep
+}

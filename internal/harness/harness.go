@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"minnow/internal/core"
 	"minnow/internal/cpu"
+	"minnow/internal/fault"
 	"minnow/internal/galois"
 	"minnow/internal/graph"
 	"minnow/internal/graphmat"
@@ -71,6 +73,21 @@ type Options struct {
 	// events into Run.Trace (Scheduler "minnow" only).
 	TraceEvents int
 
+	// Faults, when non-nil, arms the seeded fault-injection plan: engine
+	// stalls and offline events, NoC delay spikes, DRAM retries, spill
+	// retries with bounded backoff, and credit-loss events. nil (the
+	// default) leaves every fault hook uninstalled and the run
+	// byte-identical to a build without the fault layer.
+	Faults *fault.Plan
+	// Invariants enables the runtime invariant checker: post-run task
+	// conservation, credit-pool accounting, cache/directory sanity, and
+	// the no-progress watchdog arm of the liveness guard.
+	Invariants bool
+	// MaxCycles bounds simulated wall-clock cycles per run; the watchdog
+	// halts the run with a diagnostic snapshot when the frontier passes
+	// it (0 = a large default).
+	MaxCycles int64
+
 	// MetricsEvery, when positive, samples the time-series metrics
 	// registry every MetricsEvery simulated cycles into Run.Intervals.
 	MetricsEvery int64
@@ -109,6 +126,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 2_000_000_000
 	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 1 << 40
+	}
 	return o
 }
 
@@ -126,6 +146,21 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 
 	msys := buildMem(o)
 	cores := buildCores(o, msys)
+
+	// Fault injection: the injector and its hooks exist only when a plan
+	// is armed, and each hook is installed only when its clause is live,
+	// so disabled clauses draw nothing from the RNG streams and a nil
+	// plan leaves the run bit-identical to a fault-free build.
+	var inj *fault.Injector
+	if o.Faults != nil {
+		inj = fault.NewInjector(o.Faults)
+		if o.Faults.NoCDelay.P > 0 {
+			msys.Mesh.FaultDelay = inj.NoCDelay
+		}
+		if o.Faults.DRAMRetry.P > 0 {
+			msys.DRAM.FaultRetry = inj.DRAMRetry
+		}
+	}
 
 	// Scheduler.
 	var sched galois.Scheduler
@@ -174,7 +209,19 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 				e.Trace = buf
 			}
 		}
+		if inj != nil {
+			for i, e := range engines {
+				e.Inj = inj
+				e.FaultID = i
+			}
+		}
 		ms := core.NewMinnowScheduler(engines, o.Threads)
+		if inj != nil && o.Faults.OfflineAt > 0 {
+			// Engine-offline plans get a software OBIM fallback the cores
+			// degrade to when their engine dies mid-run. Allocated here
+			// (not lazily) so AddrSpace layout is fixed at setup.
+			ms.EnableFailover(inj, gwl, worklist.NewOBIM(as, o.Threads, o.Sockets, o.LgInterval))
+		}
 		msys.OnCredit = func(c int, used bool) { ms.EngineFor(c).CreditReturn(used) }
 		sched = ms
 	case "obim":
@@ -191,6 +238,8 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	var swWL worklist.Worklist
 	if sw, ok := sched.(*galois.SWScheduler); ok {
 		swWL = sw.WL
+	} else if ms, ok := sched.(*core.MinnowScheduler); ok {
+		swWL = ms.Fallback() // nil unless failover is armed
 	}
 
 	attachHWPrefetchers(o, cores, msys, kern.Graph())
@@ -203,11 +252,11 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	}
 	runner := galois.NewRunner(cfg, cores, sched, kern, kern.Graph().Degree)
 
-	ob := buildObserver(o, cores, runner.Workers(), engines, gwl, swWL, msys)
+	ob := buildObserver(o, cores, runner.Workers(), engines, gwl, swWL, msys, inj)
 
 	// Simulation: workers and engines are actors.
 	eng := sim.NewEngine()
-	ob.install(eng, engines, gwl, swWL, msys)
+	ob.install(eng, engines, gwl, swWL, msys, inj)
 	for _, w := range runner.Workers() {
 		id := eng.Register(w)
 		eng.Wake(id, 0)
@@ -219,13 +268,31 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 
 	runner.Seed(kern.InitialTasks())
 
+	wd := installWatchdog(eng, o, inj, runner)
+
 	_, drained := eng.Run(o.MaxSteps)
+	if eng.Halted() {
+		snap := collectSnapshot(wd.reason, eng, runner, engines, gwl, swWL, msys, inj)
+		return nil, fmt.Errorf("harness: %s/%s halted by watchdog: %s\n%s",
+			spec.Name, o.Scheduler, wd.reason, snap)
+	}
 	if !drained && !runner.TimedOut() {
 		return nil, fmt.Errorf("harness: %s/%s exceeded %d simulation steps (livelock?)",
 			spec.Name, o.Scheduler, o.MaxSteps)
 	}
 
+	if o.Invariants {
+		if msgs := checkInvariants(o, drained, runner, engines, gwl, swWL, msys); len(msgs) > 0 {
+			return nil, fmt.Errorf("harness: %s/%s invariant violations:\n  %s",
+				spec.Name, o.Scheduler, strings.Join(msgs, "\n  "))
+		}
+	}
+
 	run := collect(spec.Name, o, cores, engines, msys, runner)
+	if inj != nil {
+		fs := inj.Stats
+		run.Faults = &fs
+	}
 	run.SimSteps = eng.Steps()
 	if len(engines) > 0 {
 		run.Trace = engines[0].Trace

@@ -5,6 +5,7 @@ import (
 
 	"minnow/internal/core"
 	"minnow/internal/cpu"
+	"minnow/internal/fault"
 	"minnow/internal/galois"
 	"minnow/internal/mem"
 	"minnow/internal/obs"
@@ -33,7 +34,8 @@ type observer struct {
 // byte-identical (and wall cycles and event-loop steps unchanged) whether
 // observability is on or off — the contract the obs harness tests pin.
 func buildObserver(o Options, cores []*cpu.Core, workers []*galois.Worker,
-	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) *observer {
+	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System,
+	inj *fault.Injector) *observer {
 
 	ob := &observer{}
 	if o.Timeline {
@@ -53,9 +55,17 @@ func buildObserver(o Options, cores []*cpu.Core, workers []*galois.Worker,
 	}
 	if o.MetricsEvery > 0 {
 		ob.reg = obs.NewRegistry(sim.Time(o.MetricsEvery))
-		ob.registerColumns(cores, engines, gwl, swWL, msys)
+		ob.registerColumns(cores, engines, gwl, swWL, msys, inj)
 	}
 	return ob
+}
+
+// injectedFaults returns the cumulative injected-fault tally for the
+// registry column and timeline counter track.
+func injectedFaults(inj *fault.Injector) int64 {
+	s := inj.Stats
+	return s.EngineStalls + s.NoCDelays + s.DRAMRetries + s.SpillRetries +
+		s.CreditsLost + s.EnginesOffline
 }
 
 // occupancyFn returns the worklist-occupancy gauge: tasks queued anywhere
@@ -68,6 +78,9 @@ func occupancyFn(engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Workl
 			n := int64(gwl.Len())
 			for _, e := range engines {
 				n += e.QueuedTasks()
+			}
+			if swWL != nil { // engine-offline failover worklist
+				n += int64(swWL.Len())
 			}
 			return n
 		}
@@ -82,7 +95,7 @@ func occupancyFn(engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Workl
 // worklist occupancy, interval L2/L3 MPKI, prefetch accuracy/coverage and
 // lateness, the credit pool level, and NoC/DRAM activity.
 func (ob *observer) registerColumns(cores []*cpu.Core, engines []*core.Engine,
-	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) {
+	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System, inj *fault.Injector) {
 
 	reg := ob.reg
 	sumInstrs := func() int64 {
@@ -132,6 +145,11 @@ func (ob *observer) registerColumns(cores []*cpu.Core, engines []*core.Engine,
 			return n
 		})
 	}
+	if inj != nil {
+		// Registered only when a fault plan is armed, so fault-free CSVs
+		// are byte-identical to pre-fault-layer output.
+		reg.Counter("faults", func() int64 { return injectedFaults(inj) })
+	}
 	reg.Counter("noc_flits", func() int64 { return msys.Mesh.Flits })
 	reg.Counter("noc_stall", func() int64 { return msys.Mesh.StallCyc })
 	reg.Counter("dram_acc", func() int64 { return msys.DRAM.Accesses })
@@ -149,7 +167,7 @@ func (ob *observer) registerColumns(cores []*cpu.Core, engines []*core.Engine,
 // tracks. With metrics off but the timeline on, counters sample at
 // timelineCounterEvery.
 func (ob *observer) install(eng *sim.Engine, engines []*core.Engine,
-	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) {
+	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System, inj *fault.Injector) {
 
 	every := ob.reg.Every()
 	if every == 0 {
@@ -173,6 +191,9 @@ func (ob *observer) install(eng *sim.Engine, engines []*core.Engine,
 					cr += int64(e.Credits())
 				}
 				tl.Counter(obs.EvCredits, at, cr)
+			}
+			if inj != nil {
+				tl.Counter(obs.EvFaults, at, injectedFaults(inj))
 			}
 		}
 	})

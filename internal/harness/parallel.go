@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"minnow/internal/kernels"
@@ -74,13 +75,26 @@ func RunJobs(jobs []Job, workers int) []JobResult {
 	return results
 }
 
-func runJob(j Job) JobResult {
+// runJob executes one job, converting a panicking simulation into a
+// per-job error (with the stack attached) instead of killing the whole
+// sweep: one wedged configuration must not take down its worker and
+// silently strand every job behind it.
+func runJob(j Job) (res JobResult) {
+	res.Job = j
+	defer func() {
+		if r := recover(); r != nil {
+			res.Run = nil
+			res.Err = fmt.Errorf("harness: %s/%s panicked: %v\n%s",
+				j.Bench, j.Opts.Scheduler, r, debug.Stack())
+		}
+	}()
 	spec, err := kernels.SpecByName(j.Bench)
 	if err != nil {
-		return JobResult{Job: j, Err: err}
+		res.Err = err
+		return res
 	}
-	r, err := Run(spec, j.Opts)
-	return JobResult{Job: j, Run: r, Err: err}
+	res.Run, res.Err = Run(spec, j.Opts)
+	return res
 }
 
 // Mismatch records one summary field that differed between two runs of

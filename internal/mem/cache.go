@@ -210,6 +210,36 @@ func (c *Cache) MarkPrefetch(line uint64) bool {
 	return false
 }
 
+// CountPrefetchMarked returns how many valid lines currently carry the
+// prefetch bit. Read-only scan used by the credit-accounting audit (the
+// engine's outstanding-marked counter must equal the lines actually
+// marked in its cores' L2s).
+func (c *Cache) CountPrefetchMarked() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].prefetch {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidLines appends every valid way's line address to dst and returns
+// it, in set-major order (deterministic). Read-only; used by the
+// inclusion audit.
+func (c *Cache) ValidLines(dst []uint64) []uint64 {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				dst = append(dst, set[i].tag)
+			}
+		}
+	}
+	return dst
+}
+
 // Invalidate removes a line (coherence back-invalidation). It reports
 // whether the line was present, was dirty, and carried a set prefetch bit.
 func (c *Cache) Invalidate(line uint64) (present, dirty, prefetch bool) {

@@ -1,6 +1,9 @@
 package mem
 
 import (
+	"fmt"
+	"sort"
+
 	"minnow/internal/dram"
 	"minnow/internal/noc"
 	"minnow/internal/obs"
@@ -527,6 +530,70 @@ func (s *System) Access(core int, addr uint64, kind Kind, now sim.Time) Result {
 	s.lastDone = res.Done
 	s.lastLevel = res.Level
 	return res
+}
+
+// CheckInvariants audits directory and cache sanity, returning one
+// message per violation (empty means clean, sorted for determinism).
+// Read-only — safe to call from a watchdog mid-run or post-run:
+//
+//   - every directory entry names at least one sharer, a dirty owner
+//     that is itself a sharer, and no cores beyond the active set;
+//   - every valid L2 line is tracked by the directory with its core's
+//     sharer bit set (L2 inclusion in the directory's view);
+//   - per-cache counters satisfy their arithmetic identities
+//     (writebacks <= evictions, misses <= accesses, prefetch
+//     used+waste <= fills).
+func (s *System) CheckInvariants() []string {
+	var v []string
+	for line, e := range s.dir {
+		if e.sharers == 0 {
+			v = append(v, fmt.Sprintf("mem: dir line %#x has no sharers but was not reclaimed", line))
+		}
+		if e.dirtyOwner >= 0 && e.sharers&(1<<uint(e.dirtyOwner)) == 0 {
+			v = append(v, fmt.Sprintf("mem: dir line %#x dirty owner %d missing from sharer mask %#x", line, e.dirtyOwner, e.sharers))
+		}
+		if s.cfg.Cores < 64 && e.sharers>>uint(s.cfg.Cores) != 0 {
+			v = append(v, fmt.Sprintf("mem: dir line %#x sharer mask %#x names cores beyond the %d active", line, e.sharers, s.cfg.Cores))
+		}
+	}
+	var lines []uint64
+	for core, c := range s.l2 {
+		lines = c.ValidLines(lines[:0])
+		for _, line := range lines {
+			if e, ok := s.dir[line]; !ok || e.sharers&(1<<uint(core)) == 0 {
+				v = append(v, fmt.Sprintf("mem: core %d L2 holds line %#x the directory does not track for it", core, line))
+			}
+		}
+	}
+	checkCounters := func(name string, st CacheCounters) {
+		if st.Writebacks > st.Evictions {
+			v = append(v, fmt.Sprintf("mem: %s writebacks %d exceed evictions %d", name, st.Writebacks, st.Evictions))
+		}
+		if st.Misses > st.Accesses {
+			v = append(v, fmt.Sprintf("mem: %s misses %d exceed accesses %d", name, st.Misses, st.Accesses))
+		}
+		if st.PrefetchUsed+st.PrefetchWaste > st.PrefetchFills {
+			v = append(v, fmt.Sprintf("mem: %s prefetch used %d + waste %d exceed fills %d", name, st.PrefetchUsed, st.PrefetchWaste, st.PrefetchFills))
+		}
+	}
+	for i, c := range s.l2 {
+		checkCounters(fmt.Sprintf("l2[%d]", i), c.Stats)
+	}
+	for i, c := range s.l3 {
+		checkCounters(fmt.Sprintf("l3[%d]", i), c.Stats)
+	}
+	sort.Strings(v)
+	return v
+}
+
+// PrefetchMarked sums the prefetch-marked L2 lines across the given
+// cores (credit-accounting audit).
+func (s *System) PrefetchMarked(cores []int) int {
+	n := 0
+	for _, c := range cores {
+		n += s.l2[c].CountPrefetchMarked()
+	}
+	return n
 }
 
 // L2Counters aggregates the counters of all L2 caches.

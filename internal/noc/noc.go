@@ -28,6 +28,11 @@ type Mesh struct {
 	StallCyc  int64 // total cycles flits waited for links
 	Messages  int64
 	maxQueued sim.Time
+
+	// FaultDelay, when non-nil, returns an injected extra latency applied
+	// once per message (deterministic fault injection). Nil in fault-free
+	// runs, costing one comparison per message.
+	FaultDelay func() sim.Time
 }
 
 // Directions for links leaving a node.
@@ -77,6 +82,9 @@ func (m *Mesh) Traverse(from, to int, start sim.Time) sim.Time {
 	}
 	m.Messages++
 	t := start
+	if m.FaultDelay != nil {
+		t += m.FaultDelay()
+	}
 	x, y := m.NodeOf(from)
 	tx, ty := m.NodeOf(to)
 	for x != tx {

@@ -78,6 +78,9 @@ const (
 	EvDRAMQueue
 	// EvNoCFlits is the cumulative NoC link-traversal counter track.
 	EvNoCFlits
+	// EvFaults is the cumulative injected-fault counter track (present
+	// only when a fault plan is armed).
+	EvFaults
 
 	// NumKinds bounds the Kind space (per-kind count arrays).
 	NumKinds
@@ -125,6 +128,8 @@ func (k Kind) String() string {
 		return "dram-queue"
 	case EvNoCFlits:
 		return "noc-flits"
+	case EvFaults:
+		return "faults-injected"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -32,9 +32,19 @@
 // calling Wake or mutating actors from a probe would break the
 // determinism contract above. A disabled probe costs one comparison per
 // frontier advance.
+//
+// Robustness: SetWatchdog installs a liveness callback polled every N
+// steps; when it reports the run is wedged (no progress, cycle budget
+// exceeded) the engine halts cleanly — Halted distinguishes that from a
+// drain or a step-bound stop — and Queued exposes a deterministic dump of
+// the pending schedule for the diagnostic snapshot. A disabled watchdog
+// costs one nil check per step.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // timeMax is the disabled-probe sentinel; no simulation reaches it.
 const timeMax = Time(1) << 62
@@ -101,6 +111,11 @@ type Engine struct {
 	probeAt    Time // next boundary; timeMax when no probe is installed
 	probeEvery Time
 	probeFn    func(at Time)
+
+	wdEvery int64       // steps between watchdog polls
+	wdNext  int64       // step count at which the watchdog next fires
+	wdFn    func() bool // reports true to halt the run; nil when disabled
+	halted  bool        // last Run was stopped by the watchdog
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -136,6 +151,52 @@ func (e *Engine) fireProbe() {
 		e.probeAt += e.probeEvery
 		e.probeFn(at)
 	}
+}
+
+// SetWatchdog installs fn to be polled once every `every` actor steps
+// during Run. If fn returns true the run halts immediately: Run returns
+// (Now(), false) and Halted() reports true until the next Run. The
+// callback may read any simulation state (including Queued) but must not
+// wake actors or mutate them. A nil fn or non-positive interval disables
+// the watchdog, which then costs one nil check per step.
+func (e *Engine) SetWatchdog(every int64, fn func() bool) {
+	if fn == nil || every <= 0 {
+		e.wdEvery, e.wdNext, e.wdFn = 0, 0, nil
+		return
+	}
+	e.wdEvery = every
+	e.wdNext = e.steps + every
+	e.wdFn = fn
+}
+
+// Halted reports whether the most recent Run was stopped by the watchdog
+// (as opposed to draining or hitting the step bound).
+func (e *Engine) Halted() bool { return e.halted }
+
+// QueuedActor describes one scheduled actor for diagnostics: its ID and
+// the local time at which it will next step.
+type QueuedActor struct {
+	// ID is the actor's scheduler ID (Register order).
+	ID int
+	// At is the simulated time of the actor's next step.
+	At Time
+}
+
+// Queued returns the scheduled actors in deterministic (time, ID) order —
+// the per-actor clock dump for watchdog snapshots. It copies and sorts;
+// the schedule itself is not mutated.
+func (e *Engine) Queued() []QueuedActor {
+	out := make([]QueuedActor, 0, len(e.heap))
+	for _, ent := range e.heap {
+		out = append(out, QueuedActor{ID: ent.id, At: ent.at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
 }
 
 // Register adds an actor and returns its ID. The actor is initially
@@ -180,9 +241,17 @@ func (e *Engine) Idle() bool { return len(e.heap) == 0 }
 // final frontier time and whether the run drained (as opposed to hitting
 // the step bound).
 func (e *Engine) Run(maxSteps int64) (Time, bool) {
+	e.halted = false
 	for len(e.heap) > 0 {
 		if maxSteps > 0 && e.steps >= maxSteps {
 			return e.now, false
+		}
+		if e.wdFn != nil && e.steps >= e.wdNext {
+			e.wdNext = e.steps + e.wdEvery
+			if e.wdFn() {
+				e.halted = true
+				return e.now, false
+			}
 		}
 		ent := e.heap[0]
 		if ent.at > e.now {

@@ -113,6 +113,60 @@ type EngineStats struct {
 	Parks        int64 // times the back-end went idle
 	ClockEnd     int64 // back-end local time at run end
 	StreamsDone  int64 // prefetch streams that ran to completion
+
+	// The fault-injection counters below are zero (and omitted from the
+	// canonical JSON) in fault-free runs, keeping summaries byte-identical
+	// to builds without the fault layer.
+
+	// FaultStalls counts injected engine-stall faults this engine took.
+	FaultStalls int64 `json:"FaultStalls,omitempty"`
+	// SpillRetries counts spill/fill memory accesses this engine reissued
+	// after an injected transient failure (bounded exponential backoff).
+	SpillRetries int64 `json:"SpillRetries,omitempty"`
+	// CreditsLost counts prefetch credit returns dropped by injected
+	// credit-loss faults.
+	CreditsLost int64 `json:"CreditsLost,omitempty"`
+	// CreditsRecovered counts credits re-minted by the engine's
+	// credit-leak audit once every marked line was accounted for.
+	CreditsRecovered int64 `json:"CreditsRecovered,omitempty"`
+	// Rescued counts tasks drained out of this engine when an injected
+	// fault took it permanently offline.
+	Rescued int64 `json:"Rescued,omitempty"`
+}
+
+// FaultStats aggregates injected-fault activity across one run. Run and
+// RunSummary carry it as a pointer that stays nil in fault-free runs, so
+// enabling the fault layer without a plan leaves the canonical JSON
+// byte-identical to a build that predates it.
+type FaultStats struct {
+	// EngineStalls counts injected engine back-end stall events.
+	EngineStalls int64 `json:"engine_stalls"`
+	// EngineStallCyc sums the cycles engines spent in injected stalls.
+	EngineStallCyc int64 `json:"engine_stall_cyc"`
+	// NoCDelays counts mesh messages hit by an injected delay spike.
+	NoCDelays int64 `json:"noc_delays"`
+	// NoCDelayCyc sums the injected mesh delay cycles.
+	NoCDelayCyc int64 `json:"noc_delay_cyc"`
+	// DRAMRetries counts injected DRAM retry rounds.
+	DRAMRetries int64 `json:"dram_retries"`
+	// DRAMRetryCyc sums the injected DRAM retry latency cycles.
+	DRAMRetryCyc int64 `json:"dram_retry_cyc"`
+	// SpillRetries counts engine spill/fill accesses that transiently
+	// failed and were reissued.
+	SpillRetries int64 `json:"spill_retries"`
+	// SpillBackoffCyc sums the exponential-backoff cycles spent before
+	// spill/fill reissues.
+	SpillBackoffCyc int64 `json:"spill_backoff_cyc"`
+	// CreditsLost counts prefetch credit returns dropped in flight.
+	CreditsLost int64 `json:"credits_lost"`
+	// CreditsRecovered counts credits re-minted by the engines'
+	// credit-leak audits.
+	CreditsRecovered int64 `json:"credits_recovered"`
+	// EnginesOffline counts engines taken permanently offline.
+	EnginesOffline int64 `json:"engines_offline"`
+	// Rescued counts tasks rescued from dying engines (and the global
+	// worklist) into the software fallback worklist.
+	Rescued int64 `json:"rescued"`
 }
 
 // Run captures everything measured during one simulated benchmark run.
@@ -153,6 +207,11 @@ type Run struct {
 	WasteDemandEvict int64 // prefetched lines evicted by demand fills
 	WasteInval       int64 // prefetched lines lost to invalidations
 	L1Shielded       int64 // L2 prefetch hits hidden behind L1 hits
+
+	// Faults aggregates injected-fault activity; nil when fault injection
+	// was off (part of the summary, since injected faults are fully
+	// deterministic for a given plan).
+	Faults *FaultStats
 }
 
 // SumCores returns the element-wise sum of all core stats.

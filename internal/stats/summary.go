@@ -45,6 +45,8 @@ type RunSummary struct {
 	WasteDemandEvict int64 `json:"waste_demand_evict"` // prefetches evicted by demand
 	WasteInval       int64 `json:"waste_inval"`        // prefetches invalidated
 	L1Shielded       int64 `json:"l1_shielded"`        // L2 prefetch hits behind L1 hits
+
+	Faults *FaultStats `json:"faults,omitempty"` // injected-fault activity (nil when off)
 }
 
 // Summary extracts the deterministic portion of the run for cross-run
@@ -77,6 +79,8 @@ func (r *Run) Summary() RunSummary {
 		WasteDemandEvict: r.WasteDemandEvict,
 		WasteInval:       r.WasteInval,
 		L1Shielded:       r.L1Shielded,
+
+		Faults: r.Faults,
 	}
 }
 

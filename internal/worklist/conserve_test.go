@@ -1,0 +1,143 @@
+package worklist
+
+import (
+	"testing"
+
+	"minnow/internal/rng"
+)
+
+// conservedLists builds every Conserved worklist implementation over a
+// fresh environment.
+func conservedLists(threads int) map[string]Worklist {
+	as, _, _ := testEnv(threads)
+	return map[string]Worklist{
+		"fifo":     NewFIFO(as, threads),
+		"lifo":     NewLIFO(as, threads),
+		"obim":     NewOBIM(as, threads, 1, 3),
+		"strictpq": NewStrictPQ(as),
+	}
+}
+
+// drainAll pops from every thread context until a full round makes no
+// progress — OBIM binds refill chunks to the popping thread, so a
+// single-context drain can strand tasks in another thread's pop chunk.
+func drainAll(wl Worklist, ctxs []*Ctx) []Task {
+	var out []Task
+	for {
+		n := len(out)
+		for _, ctx := range ctxs {
+			for {
+				t, ok := wl.Pop(ctx)
+				if !ok {
+					break
+				}
+				out = append(out, t)
+			}
+		}
+		if len(out) == n {
+			return out
+		}
+	}
+}
+
+// checkLedger asserts the Conserved identity pushed == popped + Len.
+func checkLedger(t *testing.T, name string, wl Worklist) {
+	t.Helper()
+	c, ok := wl.(Conserved)
+	if !ok {
+		t.Fatalf("%s does not implement Conserved", name)
+	}
+	if c.Pushed() != c.Popped()+int64(wl.Len()) {
+		t.Fatalf("%s ledger broken: pushed=%d popped=%d len=%d",
+			name, c.Pushed(), c.Popped(), wl.Len())
+	}
+}
+
+// TestConservation drives every worklist with a randomized multi-thread
+// push/pop mix and checks the conservation ledger at every step, that no
+// task is duplicated or lost, and that a full drain balances the books.
+func TestConservation(t *testing.T) {
+	const threads = 4
+	for name, wl := range conservedLists(threads) {
+		_, _, ctxs := testEnv(threads)
+		r := rng.New(99)
+		pushed := map[int32]bool{}
+		popped := map[int32]bool{}
+		next := int32(0)
+		for op := 0; op < 5000; op++ {
+			ctx := ctxs[int(r.Uint64()%threads)]
+			if r.Uint64()%3 != 0 { // bias toward pushes
+				wl.Push(ctx, task(int64(r.Uint64()%64), next))
+				pushed[next] = true
+				next++
+			} else if tk, ok := wl.Pop(ctx); ok {
+				if popped[tk.Node] {
+					t.Fatalf("%s: task %d popped twice", name, tk.Node)
+				}
+				if !pushed[tk.Node] {
+					t.Fatalf("%s: task %d popped but never pushed", name, tk.Node)
+				}
+				popped[tk.Node] = true
+			}
+			if op%97 == 0 {
+				checkLedger(t, name, wl)
+			}
+		}
+		for _, tk := range drainAll(wl, ctxs) {
+			if popped[tk.Node] {
+				t.Fatalf("%s: task %d popped twice on drain", name, tk.Node)
+			}
+			popped[tk.Node] = true
+		}
+		checkLedger(t, name, wl)
+		if len(popped) != len(pushed) {
+			t.Fatalf("%s: %d pushed but %d recovered", name, len(pushed), len(popped))
+		}
+		if c := wl.(Conserved); c.Popped() != int64(len(popped)) || wl.Len() != 0 {
+			t.Fatalf("%s: drained ledger popped=%d len=%d, want %d/0",
+				name, c.Popped(), wl.Len(), len(popped))
+		}
+	}
+}
+
+// FuzzWorklist interprets a byte string as a push/pop/thread-switch
+// program against every worklist, checking the conservation ledger and
+// exact multiset recovery at the end of each run.
+func FuzzWorklist(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0xff, 0x80, 0x40})
+	f.Add([]byte("push pop push push pop"))
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 4096 {
+			prog = prog[:4096]
+		}
+		const threads = 2
+		for name, wl := range conservedLists(threads) {
+			_, _, ctxs := testEnv(threads)
+			live := 0
+			next := int32(0)
+			for i, b := range prog {
+				ctx := ctxs[int(b>>7)&1]
+				switch {
+				case b%3 != 0:
+					wl.Push(ctx, task(int64(b&0x3f), next))
+					next++
+					live++
+				default:
+					if _, ok := wl.Pop(ctx); ok {
+						live--
+					}
+				}
+				if wl.Len() != live {
+					t.Fatalf("%s: Len=%d but %d tasks live after op %d", name, wl.Len(), live, i)
+				}
+			}
+			checkLedger(t, name, wl)
+			drained := drainAll(wl, ctxs)
+			if len(drained) != live {
+				t.Fatalf("%s: drain returned %d tasks, %d live", name, len(drained), live)
+			}
+			checkLedger(t, name, wl)
+		}
+	})
+}

@@ -18,9 +18,11 @@ type ChunkedQueue struct {
 	glock  lock
 	ghead  uint64 // simulated address of the global list head
 
-	arena *chunkArena
-	descs *descArena
-	size  int
+	arena  *chunkArena
+	descs  *descArena
+	size   int
+	pushed int64
+	popped int64
 }
 
 // NewFIFO builds a chunked FIFO for the given thread count.
@@ -57,6 +59,12 @@ func (q *ChunkedQueue) Name() string {
 // Len implements Worklist.
 func (q *ChunkedQueue) Len() int { return q.size }
 
+// Pushed implements Conserved.
+func (q *ChunkedQueue) Pushed() int64 { return q.pushed }
+
+// Popped implements Conserved.
+func (q *ChunkedQueue) Popped() int64 { return q.popped }
+
 // Push implements Worklist.
 func (q *ChunkedQueue) Push(ctx *Ctx, t Task) {
 	tid := ctx.Core.ID
@@ -72,6 +80,7 @@ func (q *ChunkedQueue) Push(ctx *Ctx, t Task) {
 	ctx.TR.Store(c.slotAddr(len(c.tasks)))
 	c.tasks = append(c.tasks, t)
 	q.size++
+	q.pushed++
 	if len(c.tasks) == chunkCap {
 		// Publish the full chunk on the shared list.
 		q.glock.acquire(ctx)
@@ -112,6 +121,7 @@ func (q *ChunkedQueue) Pop(ctx *Ctx) (Task, bool) {
 	ctx.TR.Load(t.Desc, false, false)
 	ctx.flush()
 	q.size--
+	q.popped++
 	return t, true
 }
 

@@ -37,6 +37,8 @@ type OBIM struct {
 	TotalPushes  int64
 	// Rebinds counts pop-chunk returns triggered by the shared level line.
 	Rebinds int64
+
+	popped int64
 }
 
 type obimSocket struct {
@@ -88,6 +90,12 @@ func (o *OBIM) Name() string { return fmt.Sprintf("obim-lg%d-s%d", o.lgInterval,
 
 // Len implements Worklist.
 func (o *OBIM) Len() int { return o.size }
+
+// Pushed implements Conserved.
+func (o *OBIM) Pushed() int64 { return o.TotalPushes }
+
+// Popped implements Conserved.
+func (o *OBIM) Popped() int64 { return o.popped }
 
 func (o *OBIM) socketOf(tid int) *obimSocket {
 	return o.sock[tid*o.sockets/o.threads]
@@ -235,6 +243,7 @@ func (o *OBIM) Pop(ctx *Ctx) (Task, bool) {
 			ctx.TR.Load(t.Desc, false, false)
 			ctx.flush()
 			o.size--
+			o.popped++
 			return t, true
 		}
 	}

@@ -16,6 +16,8 @@ type StrictPQ struct {
 	glock    lock
 	heapAddr uint64
 	descs    *descArena
+	pushed   int64
+	popped   int64
 }
 
 type taskHeap []Task
@@ -47,6 +49,12 @@ func (q *StrictPQ) Name() string { return "strict-pq" }
 // Len implements Worklist.
 func (q *StrictPQ) Len() int { return len(q.h) }
 
+// Pushed implements Conserved.
+func (q *StrictPQ) Pushed() int64 { return q.pushed }
+
+// Popped implements Conserved.
+func (q *StrictPQ) Popped() int64 { return q.popped }
+
 // heapOps emits the loads/stores of a sift through depth levels of a heap
 // laid out as an array at heapAddr.
 func (q *StrictPQ) heapOps(ctx *Ctx, idx int) {
@@ -68,6 +76,7 @@ func (q *StrictPQ) Push(ctx *Ctx, t Task) {
 	q.heapOps(ctx, len(q.h))
 	q.glock.release(ctx)
 	heap.Push(&q.h, t)
+	q.pushed++
 }
 
 // Pop implements Worklist.
@@ -82,5 +91,6 @@ func (q *StrictPQ) Pop(ctx *Ctx) (Task, bool) {
 	ctx.TR.Compute(8)
 	q.glock.release(ctx)
 	t := heap.Pop(&q.h).(Task)
+	q.popped++
 	return t, true
 }

@@ -84,6 +84,17 @@ type Worklist interface {
 	Name() string
 }
 
+// Conserved is implemented by worklists that count lifetime pushes and
+// pops, letting the harness invariant checker assert task conservation:
+// at any quiescent point, Pushed() == Popped() + Len(). All three
+// software worklists (fifo/lifo, obim, strict-pq) implement it.
+type Conserved interface {
+	// Pushed returns the lifetime number of tasks pushed.
+	Pushed() int64
+	// Popped returns the lifetime number of tasks successfully popped.
+	Popped() int64
+}
+
 // lock models a spinlock-guarded critical section with pessimistic
 // reservation: acquire reserves the lock for an estimated hold time and
 // release truncates the reservation to the actual end. Contending cores

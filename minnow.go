@@ -25,6 +25,7 @@ import (
 
 	"minnow/internal/core"
 	"minnow/internal/cpu"
+	"minnow/internal/fault"
 	"minnow/internal/graph"
 	"minnow/internal/harness"
 	"minnow/internal/kernels"
@@ -94,6 +95,73 @@ type Config struct {
 	// cache misses, engine spill/fill/prefetch activity, counter tracks);
 	// the Chrome-trace/Perfetto JSON is returned in Result.TimelineJSON.
 	Timeline bool
+
+	// Faults arms the deterministic fault-injection plan: a preset name
+	// ("transient", "offline", "chaos") or a clause expression such as
+	// "seed=7;engine-stall:p=0.01,cycles=400;engine-offline:at=50000".
+	// Empty disables injection. See docs/ROBUSTNESS.md for the grammar.
+	Faults string
+	// Invariants enables the runtime invariant checker (task
+	// conservation, credit-pool accounting, cache/directory sanity) and
+	// arms the no-progress watchdog.
+	Invariants bool
+	// MaxCycles halts runs whose simulated clock passes this bound with a
+	// diagnostic snapshot instead of hanging (0 = a large default).
+	MaxCycles int64
+}
+
+// Validate rejects nonsensical configurations with a descriptive error
+// before any simulation state is built. The zero value of every field is
+// valid — it selects the documented default. Run, RunGraph, and the
+// parallel runners all call this; command-line frontends can call it
+// early to fail fast on bad flags.
+func (c Config) Validate() error {
+	switch {
+	case c.Threads < 0:
+		return fmt.Errorf("minnow: Threads %d is negative (0 selects the default of 8)", c.Threads)
+	case c.Threads > 64:
+		return fmt.Errorf("minnow: Threads %d exceeds 64, the coherence directory's sharer-mask width", c.Threads)
+	case c.Scale < 0:
+		return fmt.Errorf("minnow: Scale %d is negative (0 selects the default of 1)", c.Scale)
+	case c.Credits < 0:
+		return fmt.Errorf("minnow: Credits %d is negative — the prefetch credit pool needs at least one credit (0 selects the default of 32)", c.Credits)
+	case c.SplitThreshold < 0:
+		return fmt.Errorf("minnow: SplitThreshold %d is negative (0 disables task splitting)", c.SplitThreshold)
+	case c.WorkBudget < 0:
+		return fmt.Errorf("minnow: WorkBudget %d is negative (0 means unlimited)", c.WorkBudget)
+	case c.MemChannels < 0:
+		return fmt.Errorf("minnow: MemChannels %d is negative (0 selects the default of 12)", c.MemChannels)
+	case c.TraceEvents < 0:
+		return fmt.Errorf("minnow: TraceEvents %d is negative (0 disables event tracing)", c.TraceEvents)
+	case c.MetricsEvery < 0:
+		return fmt.Errorf("minnow: MetricsEvery %d is negative (0 disables interval sampling)", c.MetricsEvery)
+	case c.MaxCycles < 0:
+		return fmt.Errorf("minnow: MaxCycles %d is negative (0 selects a large default)", c.MaxCycles)
+	case c.Serial && c.Threads > 1:
+		return fmt.Errorf("minnow: Serial elides atomics and is only sound with one thread (got Threads=%d)", c.Threads)
+	case c.Prefetch && !c.Minnow:
+		return fmt.Errorf("minnow: Prefetch is worklist-directed prefetching and requires Minnow")
+	case c.CustomPrefetch != nil && (!c.Minnow || !c.Prefetch):
+		return fmt.Errorf("minnow: CustomPrefetch requires Minnow and Prefetch")
+	case c.Minnow && c.Scheduler != "" && c.Scheduler != "minnow":
+		return fmt.Errorf("minnow: Minnow conflicts with Scheduler %q — the engine owns the worklist", c.Scheduler)
+	}
+	switch c.Scheduler {
+	case "", "obim", "fifo", "lifo", "strictpq", "minnow":
+	default:
+		return fmt.Errorf("minnow: unknown Scheduler %q (want obim, fifo, lifo, strictpq, or minnow)", c.Scheduler)
+	}
+	switch c.HWPrefetcher {
+	case "", "stride", "imp":
+	default:
+		return fmt.Errorf("minnow: unknown HWPrefetcher %q (want stride or imp)", c.HWPrefetcher)
+	}
+	if c.Faults != "" {
+		if _, err := fault.ParsePlan(c.Faults); err != nil {
+			return fmt.Errorf("minnow: invalid Faults plan: %w", err)
+		}
+	}
+	return nil
 }
 
 // Result reports a simulated run's headline metrics.
@@ -122,6 +190,24 @@ type Result struct {
 	// event timeline (Config.Timeline); load it at ui.perfetto.dev. Nil
 	// when timeline collection was off.
 	TimelineJSON []byte
+
+	// Faults counts the faults actually injected (Config.Faults). Nil
+	// when fault injection was off.
+	Faults *FaultReport
+}
+
+// FaultReport summarizes one run's injected faults. Every counter is
+// deterministic: the same Config (plan and seed included) reproduces the
+// same report bit for bit.
+type FaultReport struct {
+	EngineStalls     int64 // transient engine back-end freezes
+	NoCDelays        int64 // delayed mesh hops
+	DRAMRetries      int64 // DRAM accesses that needed retries
+	SpillRetries     int64 // spill lock acquisitions retried with backoff
+	CreditsLost      int64 // prefetch credit-return messages dropped
+	CreditsRecovered int64 // credits restored by leak recovery
+	EnginesOffline   int64 // engines killed permanently mid-run
+	TasksRescued     int64 // tasks drained from dead engines into software
 }
 
 // Benchmarks lists the available workloads: the paper's Table-2 suite
@@ -137,8 +223,10 @@ func Benchmarks() []string {
 	return out
 }
 
-// toOptions converts the public config to harness options.
-func (c Config) toOptions() harness.Options {
+// toOptions converts the public config to harness options. The only
+// error source is an unparseable Faults plan, which Validate also
+// rejects.
+func (c Config) toOptions() (harness.Options, error) {
 	o := harness.Options{
 		Threads:        c.Threads,
 		Scale:          c.Scale,
@@ -155,6 +243,8 @@ func (c Config) toOptions() harness.Options {
 		TraceEvents:    c.TraceEvents,
 		MetricsEvery:   c.MetricsEvery,
 		Timeline:       c.Timeline,
+		Invariants:     c.Invariants,
+		MaxCycles:      c.MaxCycles,
 	}
 	if c.Minnow {
 		o.Scheduler = "minnow"
@@ -169,21 +259,31 @@ func (c Config) toOptions() harness.Options {
 		cfg.NoFences = c.NoFences
 		o.CoreCfg = &cfg
 	}
-	return o
+	if c.Faults != "" {
+		plan, err := fault.ParsePlan(c.Faults)
+		if err != nil {
+			return o, fmt.Errorf("minnow: invalid Faults plan: %w", err)
+		}
+		o.Faults = plan
+	}
+	return o, nil
 }
 
 // Run simulates one benchmark under the configuration and verifies its
 // result against the reference implementation.
 func Run(benchmark string, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := kernels.SpecByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	o := cfg.toOptions()
+	o, err := cfg.toOptions()
+	if err != nil {
+		return nil, err
+	}
 	if cfg.CustomPrefetch != nil {
-		if !cfg.Minnow || !cfg.Prefetch {
-			return nil, fmt.Errorf("minnow: CustomPrefetch requires Minnow and Prefetch")
-		}
 		o.CustomPrefetch = adaptPrefetch(spec, o, cfg.CustomPrefetch)
 	}
 	r, err := harness.Run(spec, o)
@@ -221,6 +321,18 @@ func resultFrom(benchmark string, r *stats.Run) *Result {
 	}
 	if r.Timeline != nil {
 		res.TimelineJSON = r.Timeline.Perfetto()
+	}
+	if f := r.Faults; f != nil {
+		res.Faults = &FaultReport{
+			EngineStalls:     f.EngineStalls,
+			NoCDelays:        f.NoCDelays,
+			DRAMRetries:      f.DRAMRetries,
+			SpillRetries:     f.SpillRetries,
+			CreditsLost:      f.CreditsLost,
+			CreditsRecovered: f.CreditsRecovered,
+			EnginesOffline:   f.EnginesOffline,
+			TasksRescued:     f.Rescued,
+		}
 	}
 	return res
 }
@@ -311,6 +423,22 @@ type FigureOptions struct {
 	Jobs int
 }
 
+// Validate rejects nonsensical figure options with a descriptive error;
+// zero values select the documented defaults.
+func (f FigureOptions) Validate() error {
+	switch {
+	case f.Threads < 0:
+		return fmt.Errorf("minnow: figure Threads %d is negative (0 selects the default of 64)", f.Threads)
+	case f.Threads > 64:
+		return fmt.Errorf("minnow: figure Threads %d exceeds 64, the coherence directory's sharer-mask width", f.Threads)
+	case f.Scale < 0:
+		return fmt.Errorf("minnow: figure Scale %d is negative (0 selects the default of 1)", f.Scale)
+	case f.Jobs < 0:
+		return fmt.Errorf("minnow: figure Jobs %d is negative (0 means all CPUs)", f.Jobs)
+	}
+	return nil
+}
+
 func (f FigureOptions) toFig() harness.FigOptions {
 	o := harness.DefaultFigOptions()
 	if f.Threads > 0 {
@@ -355,6 +483,9 @@ var figureTables = map[string]func(harness.FigOptions) (*stats.Table, error){
 
 // RenderFigureCSV regenerates a figure as comma-separated values.
 func RenderFigureCSV(name string, opts FigureOptions) (string, error) {
+	if err := opts.Validate(); err != nil {
+		return "", err
+	}
 	fn, ok := figureTables[name]
 	if !ok {
 		return "", fmt.Errorf("minnow: figure %q has no CSV form (have %v)", name, Figures())
@@ -401,6 +532,9 @@ func tbl(t interface{ String() string }, err error) (string, error) {
 // RenderFigure regenerates one of the paper's tables or figures (see
 // Figures for the names) as a plain-text table.
 func RenderFigure(name string, opts FigureOptions) (string, error) {
+	if err := opts.Validate(); err != nil {
+		return "", err
+	}
 	fn, ok := figureFns[name]
 	if !ok {
 		return "", fmt.Errorf("minnow: unknown figure %q (have %v)", name, Figures())

@@ -1,8 +1,6 @@
 package minnow
 
 import (
-	"fmt"
-
 	"minnow/internal/harness"
 	"minnow/internal/kernels"
 )
@@ -23,11 +21,14 @@ type RunResult struct {
 // toJob converts a request to a harness job, wiring the custom prefetch
 // hook exactly as Run does.
 func (r RunRequest) toJob() (harness.Job, error) {
-	o := r.Config.toOptions()
+	if err := r.Config.Validate(); err != nil {
+		return harness.Job{}, err
+	}
+	o, err := r.Config.toOptions()
+	if err != nil {
+		return harness.Job{}, err
+	}
 	if r.Config.CustomPrefetch != nil {
-		if !r.Config.Minnow || !r.Config.Prefetch {
-			return harness.Job{}, fmt.Errorf("minnow: CustomPrefetch requires Minnow and Prefetch")
-		}
 		spec, err := kernels.SpecByName(r.Benchmark)
 		if err != nil {
 			return harness.Job{}, err

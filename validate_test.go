@@ -1,0 +1,84 @@
+package minnow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" means valid
+	}{
+		{"zero value", Config{}, ""},
+		{"full minnow", Config{Threads: 8, Minnow: true, Prefetch: true, Credits: 32}, ""},
+		{"explicit minnow scheduler", Config{Minnow: true, Scheduler: "minnow"}, ""},
+		{"faults preset", Config{Faults: "transient", Invariants: true}, ""},
+		{"negative threads", Config{Threads: -1}, "Threads"},
+		{"too many threads", Config{Threads: 65}, "sharer-mask"},
+		{"negative scale", Config{Scale: -2}, "Scale"},
+		{"negative credits", Config{Credits: -1}, "Credits"},
+		{"negative split", Config{SplitThreshold: -3}, "SplitThreshold"},
+		{"negative budget", Config{WorkBudget: -1}, "WorkBudget"},
+		{"negative channels", Config{MemChannels: -5}, "MemChannels"},
+		{"negative trace", Config{TraceEvents: -1}, "TraceEvents"},
+		{"negative metrics", Config{MetricsEvery: -1}, "MetricsEvery"},
+		{"negative max cycles", Config{MaxCycles: -1}, "MaxCycles"},
+		{"parallel serial", Config{Serial: true, Threads: 4}, "Serial"},
+		{"prefetch without minnow", Config{Prefetch: true}, "requires Minnow"},
+		{"custom prefetch without prefetch", Config{Minnow: true, CustomPrefetch: func(Task, GraphView, func(...uint64)) {}}, "CustomPrefetch"},
+		{"minnow vs scheduler", Config{Minnow: true, Scheduler: "obim"}, "conflicts"},
+		{"unknown scheduler", Config{Scheduler: "random"}, "unknown Scheduler"},
+		{"unknown hw prefetcher", Config{HWPrefetcher: "ghb"}, "unknown HWPrefetcher"},
+		{"bad fault plan", Config{Faults: "warp-core:p=1"}, "Faults"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidConfig checks the validator actually gates the
+// entry points rather than letting a bad config panic mid-simulation.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	if _, err := Run("SSSP", Config{MemChannels: -5}); err == nil {
+		t.Fatal("Run accepted a config that panics in setup")
+	}
+	res := RunMany([]RunRequest{{Benchmark: "SSSP", Config: Config{Threads: -1}}}, 1)
+	if res[0].Err == nil {
+		t.Fatal("RunMany accepted an invalid config")
+	}
+	if _, err := RunChaos(Config{Threads: 99}, 1); err == nil {
+		t.Fatal("RunChaos accepted an invalid config")
+	}
+}
+
+func TestFigureOptionsValidate(t *testing.T) {
+	if err := (FigureOptions{}).Validate(); err != nil {
+		t.Fatalf("zero FigureOptions rejected: %v", err)
+	}
+	for _, bad := range []FigureOptions{
+		{Threads: -1},
+		{Threads: 128},
+		{Scale: -1},
+		{Jobs: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid FigureOptions accepted: %+v", bad)
+		}
+	}
+}
