@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"minnow"
+	"minnow/internal/inspect"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		faults   = flag.String("faults", "", "fault-injection plan: a preset (transient, offline, chaos) or clause expression (see docs/ROBUSTNESS.md)")
 		invar    = flag.Bool("invariants", false, "enable runtime invariant checking and the no-progress watchdog")
 		maxCyc   = flag.Int64("max-cycles", 0, "halt with a diagnostic snapshot past this many simulated cycles (0 = large default)")
+		profile  = flag.String("profile", "", "write a pprof profile of simulated cycles to this file (inspect with `go tool pprof`)")
+		folded   = flag.String("folded", "", "write the profiler's folded stacks to this file (feed to flamegraph tooling)")
+		httpAddr = flag.String("http", "", "serve the live run inspector on this address (host:port; needs -metrics-every)")
 	)
 	flag.Parse()
 
@@ -72,6 +76,7 @@ func main() {
 		TraceEvents:    *traceN,
 		MetricsEvery:   *every,
 		Timeline:       *timeline != "",
+		Profile:        *profile != "" || *folded != "",
 		Faults:         *faults,
 		Invariants:     *invar,
 		MaxCycles:      *maxCyc,
@@ -81,6 +86,22 @@ func main() {
 	}
 	if *useMin && !schedSet {
 		cfg.Scheduler = ""
+	}
+	if *httpAddr != "" {
+		// The inspector is observe-only: it republishes each crossed
+		// metrics-sample boundary over HTTP and serves host-process pprof.
+		if *every <= 0 {
+			fmt.Fprintln(os.Stderr, "minnowsim: -http needs -metrics-every to have samples to publish")
+			os.Exit(1)
+		}
+		srv, ierr := inspect.Start(*httpAddr)
+		if ierr != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", ierr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		cfg.OnSample = srv.OnSample
+		fmt.Printf("live inspector   http://%s/ (metrics + host pprof)\n", srv.Addr())
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "minnowsim:", err)
@@ -161,6 +182,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("interval metrics %s (%d-cycle intervals)\n", *metrics, *every)
+	}
+	if *profile != "" {
+		if werr := os.WriteFile(*profile, res.ProfilePprof, 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("cycle profile    %s (%d bytes; `go tool pprof -top %s`)\n", *profile, len(res.ProfilePprof), *profile)
+	}
+	if *folded != "" {
+		if werr := os.WriteFile(*folded, []byte(res.Folded), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "minnowsim:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("folded stacks    %s (flamegraph.pl / speedscope)\n", *folded)
 	}
 	if res.TraceText != "" {
 		fmt.Println()

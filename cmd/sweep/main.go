@@ -64,6 +64,7 @@ func main() {
 		invar    = flag.Bool("invariants", false, "enable runtime invariant checking on every run")
 		chaos    = flag.Bool("chaos", false, "run the fault-injection sweep instead of the grid (uses the first -threads value)")
 		chaosOut = flag.String("chaos-out", "", "also write the chaos report to this file (written on failure too)")
+		profDir  = flag.String("profile-dir", "", "write per-run cycle profiles (pprof + folded stacks) into this directory")
 	)
 	flag.Parse()
 
@@ -118,6 +119,7 @@ func main() {
 						SplitThreshold: int32(*split),
 						Faults:         *faults,
 						Invariants:     *invar,
+						Profile:        *profDir != "",
 					}
 					if sched == "minnow" {
 						cfg.Minnow = true
@@ -146,6 +148,11 @@ func main() {
 	}
 	fmt.Fprintln(w, "bench,threads,scheduler,prefetch,credits,wall_cycles,tasks,instructions,l2_mpki,prefetch_efficiency,useful,worklist,load_miss,store_miss,timed_out")
 
+	if *profDir != "" {
+		if merr := os.MkdirAll(*profDir, 0o755); merr != nil {
+			fail(merr)
+		}
+	}
 	for _, rr := range minnow.RunMany(reqs, *jobs) {
 		if rr.Err != nil {
 			fail(rr.Err)
@@ -157,6 +164,16 @@ func main() {
 			res.L2MPKI, res.PrefetchEfficiency,
 			res.Breakdown[0], res.Breakdown[1], res.Breakdown[2], res.Breakdown[3],
 			res.TimedOut)
+		if *profDir != "" {
+			stem := fmt.Sprintf("%s/%s_t%d_%s_pf%v_c%d",
+				*profDir, rr.Request.Benchmark, cfg.Threads, cfg.Scheduler, cfg.Prefetch, cfg.Credits)
+			if werr := os.WriteFile(stem+".pb.gz", res.ProfilePprof, 0o644); werr != nil {
+				fail(werr)
+			}
+			if werr := os.WriteFile(stem+".folded", []byte(res.Folded), 0o644); werr != nil {
+				fail(werr)
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"minnow/internal/fault"
 	"minnow/internal/galois"
+	"minnow/internal/prof"
 	"minnow/internal/stats"
 	"minnow/internal/worklist"
 )
@@ -85,8 +86,23 @@ func (m *MinnowScheduler) Push(w *galois.Worker, t worklist.Task) {
 		m.fallback.Push(&w.Ctx, t)
 		return
 	}
-	done := e.EnqueueFrom(w.Core.ID, t, w.Core.Now())
-	w.Core.Advance(done, stats.CatWorklist)
+	now := w.Core.Now()
+	done := e.EnqueueFrom(w.Core.ID, t, now)
+	// Split the wait at the nominal local-queue latency: anything beyond
+	// it is the engine's spill path holding the core (§5.1 backpressure),
+	// which the profiler attributes separately. Advancing in two steps
+	// charges the flat worklist counter the identical total, so the
+	// split is invisible unless profiling is on.
+	nominal := now + e.Config().LocalQLatency
+	if nominal > done {
+		nominal = done
+	}
+	w.Core.Advance(nominal, stats.CatWorklist)
+	if done > nominal {
+		r, cur := w.Core.ProfRegion(prof.RegionBackpressure)
+		w.Core.Advance(done, stats.CatWorklist)
+		w.Core.ProfRestore(r, cur)
+	}
 }
 
 // Pop implements galois.Scheduler via minnow_dequeue.

@@ -20,6 +20,7 @@ import (
 	"minnow/internal/bpred"
 	"minnow/internal/mem"
 	"minnow/internal/obs"
+	"minnow/internal/prof"
 	"minnow/internal/sim"
 	"minnow/internal/stats"
 	"minnow/internal/uops"
@@ -89,6 +90,17 @@ type Core struct {
 	TL    *obs.Timeline
 	Track obs.TrackID
 
+	// Prof, when non-nil, receives the refined cycle attribution (the
+	// top-down profiler; set by the harness under -profile). Every cycle
+	// charged to Stat.Cycles is mirrored into exactly one Prof leaf.
+	Prof *prof.CoreProf
+
+	// region and cursor scope profiler attribution sites: the framework
+	// brackets worklist operations with ProfRegion/ProfRestore, and
+	// cursor counts micro-ops within the current region.
+	region prof.Region
+	cursor int
+
 	now sim.Time
 
 	// In-order retire ring: retireAt[i%ROB] is the retire time of the
@@ -139,6 +151,23 @@ func (c *Core) SetNow(t sim.Time) {
 // Config returns the core configuration.
 func (c *Core) Config() Config { return c.cfg }
 
+// ProfRegion enters profiler region r, returning the previous region and
+// micro-op cursor for ProfRestore. The fields it touches feed only the
+// (observe-only) profiler, so bracketing is timing-neutral whether or not
+// profiling is enabled.
+func (c *Core) ProfRegion(r prof.Region) (prof.Region, int) {
+	prev, cur := c.region, c.cursor
+	c.region = r
+	c.cursor = 0
+	return prev, cur
+}
+
+// ProfRestore re-enters the region saved by a ProfRegion call.
+func (c *Core) ProfRestore(r prof.Region, cursor int) {
+	c.region = r
+	c.cursor = cursor
+}
+
 // Mem exposes the shared memory system.
 func (c *Core) Mem() *mem.System { return c.mem }
 
@@ -182,6 +211,14 @@ func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
 		var complete sim.Time
 		var stallCat stats.CycleCat = cat
 
+		// Refined-attribution inputs for the profiler: the micro-op's
+		// stall cause, the level that served its memory access, the
+		// prefetch outcome of that access, and whether a branch actually
+		// mispredicted. Pure bookkeeping — never feeds back into timing.
+		cause := prof.CauseUseful
+		lvl, out := prof.LvlNone, prof.OutNone
+		mispredicted := false
+
 		switch op.Kind {
 		case uops.Compute:
 			n := int(op.N)
@@ -214,6 +251,8 @@ func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
 			if cat == stats.CatUseful && res.Level >= 3 {
 				stallCat = stats.CatLoadMiss
 			}
+			cause = prof.CauseLoad
+			lvl, out = prof.ClassifyMem(res.Level, res.Remote, res.UsedPrefetch, res.PFLate)
 			c.issueFree = issue + 1
 
 		case uops.Store:
@@ -229,6 +268,8 @@ func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
 			if cat == stats.CatUseful && res.Level >= 3 {
 				stallCat = stats.CatStoreMiss
 			}
+			cause = prof.CauseStore
+			lvl, out = prof.ClassifyMem(res.Level, res.Remote, res.UsedPrefetch, res.PFLate)
 			c.issueFree = issue + 1
 
 		case uops.Atomic:
@@ -256,6 +297,8 @@ func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
 			if cat == stats.CatUseful {
 				stallCat = stats.CatStoreMiss
 			}
+			cause = prof.CauseFence
+			lvl, out = prof.ClassifyMem(res.Level, res.Remote, res.UsedPrefetch, res.PFLate)
 			c.issueFree = issue + 1
 
 		case uops.Branch:
@@ -271,6 +314,8 @@ func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
 			complete = resolve
 			if misp && !c.cfg.PerfectBP {
 				c.Stat.Mispreds++
+				mispredicted = true
+				cause = prof.CauseBranch
 				// No further issue until resolve + refill.
 				c.issueFree = resolve + c.cfg.MispredPen
 			} else {
@@ -307,21 +352,58 @@ func (c *Core) Run(ops []uops.UOp, cat stats.CycleCat) {
 			// One issue-slot's worth of time is "useful" front-end
 			// progress; the remainder is stall attributed to the op.
 			c.Stat.Cycles[stallCat] += gap
-			if c.TL != nil && gap >= stallInstantMin {
-				switch stallCat {
-				case stats.CatLoadMiss:
-					c.TL.Instant(c.Track, obs.EvStallLoad, base, gap)
-				case stats.CatStoreMiss:
-					c.TL.Instant(c.Track, obs.EvStallStore, base, gap)
+			if c.Prof != nil {
+				pcause := cause
+				if rc, ok := prof.RegionCause(c.region); ok {
+					// Worklist-operation regions own their cycles
+					// whatever micro-op consumed them, matching the flat
+					// CatWorklist attribution.
+					pcause = rc
+				} else if cat == stats.CatWorklist {
+					// Unbracketed worklist batch (the BSP-style kernels'
+					// queue maintenance): keep the coarse mapping exact.
+					pcause = prof.CauseEnqueue
 				}
+				site := prof.IndexSite(c.region, c.cursor)
+				if op.PC != 0 {
+					site = prof.PCSite(c.region, op.PC)
+				}
+				c.Prof.Add(site, pcause, lvl, out, gap)
+			}
+			if c.TL != nil && gap >= stallInstantMin {
+				c.TL.Instant(c.Track, stallKind(stallCat, op.Kind, mispredicted), base, gap)
 			}
 		}
 		c.retireAt[c.seq%int64(len(c.retireAt))] = retire
 		c.seq++
+		c.cursor++
 		if retire > c.now {
 			c.now = retire
 		}
 	}
+}
+
+// stallKind maps a retire-gap's coarse category onto the timeline stall
+// vocabulary so every attributed stall — not just memory misses — gets
+// an instant on the core track: load misses, store misses, atomics'
+// fence serialization, worklist operations, branch-mispredict refills,
+// and plain dependence/issue-width gaps.
+func stallKind(cat stats.CycleCat, kind uops.Kind, mispredicted bool) obs.Kind {
+	switch cat {
+	case stats.CatLoadMiss:
+		return obs.EvStallLoad
+	case stats.CatStoreMiss:
+		if kind == uops.Atomic {
+			return obs.EvStallFence
+		}
+		return obs.EvStallStore
+	case stats.CatWorklist:
+		return obs.EvStallWorklist
+	}
+	if mispredicted {
+		return obs.EvStallBranch
+	}
+	return obs.EvStallDep
 }
 
 // RunTagged is Run plus per-op-kind counter deltas for worklist-operation
@@ -336,7 +418,22 @@ func (c *Core) RunTagged(ops []uops.UOp, cat stats.CycleCat) sim.Time {
 // blocking worklist dequeues and barriers).
 func (c *Core) Advance(t sim.Time, cat stats.CycleCat) {
 	if t > c.now {
-		c.Stat.Cycles[cat] += int64(t - c.now)
+		gap := int64(t - c.now)
+		c.Stat.Cycles[cat] += gap
+		if c.Prof != nil {
+			cause := prof.CauseUseful
+			if rc, ok := prof.RegionCause(c.region); ok {
+				cause = rc
+			} else if cat == stats.CatWorklist {
+				// Unbracketed worklist wait (BSP barriers): a wait for
+				// work to appear, kept coarse-consistent.
+				cause = prof.CauseDequeue
+			}
+			c.Prof.Add(prof.WaitSite(c.region), cause, prof.LvlNone, prof.OutNone, gap)
+		}
+		if c.TL != nil && cat == stats.CatWorklist && gap >= stallInstantMin {
+			c.TL.Instant(c.Track, obs.EvStallWorklist, c.now, gap)
+		}
 		c.now = t
 		if c.issueFree < t {
 			c.issueFree = t

@@ -23,6 +23,7 @@ package galois
 import (
 	"minnow/internal/cpu"
 	"minnow/internal/obs"
+	"minnow/internal/prof"
 	"minnow/internal/sim"
 	"minnow/internal/stats"
 	"minnow/internal/uops"
@@ -175,7 +176,9 @@ func (w *Worker) Push(priority int64, node int32) {
 				st := &w.Core.Stat
 				st.EnqOps++
 				start := w.Core.Now()
+				pr, pc := w.Core.ProfRegion(prof.RegionEnq)
 				r.sched.Push(w, sub)
+				w.Core.ProfRestore(pr, pc)
 				st.EnqCycles += int64(w.Core.Now() - start)
 			}
 			return
@@ -185,7 +188,9 @@ func (w *Worker) Push(priority int64, node int32) {
 	st := &w.Core.Stat
 	st.EnqOps++
 	start := w.Core.Now()
+	pr, pc := w.Core.ProfRegion(prof.RegionEnq)
 	r.sched.Push(w, t)
+	w.Core.ProfRestore(pr, pc)
 	st.EnqCycles += int64(w.Core.Now() - start)
 }
 
@@ -198,7 +203,9 @@ func (w *Worker) Step() (sim.Time, bool) {
 	}
 	st := &w.Core.Stat
 	start := w.Core.Now()
+	pr, pc := w.Core.ProfRegion(prof.RegionDeq)
 	t, ok := r.sched.Pop(w)
+	w.Core.ProfRestore(pr, pc)
 	if ok {
 		// Only successful dequeues count toward the Fig. 11 per-op cost;
 		// idle polling is charged to worklist cycles either way.
@@ -211,12 +218,17 @@ func (w *Worker) Step() (sim.Time, bool) {
 			return w.Core.Now(), true
 		}
 		// Back off and re-poll: someone else still holds work.
+		ir, ic := w.Core.ProfRegion(prof.RegionIdle)
 		w.Core.Advance(w.Core.Now()+r.cfg.IdleBackoff, stats.CatWorklist)
+		w.Core.ProfRestore(ir, ic)
 		return w.Core.Now(), false
 	}
 	r.applied++
 	st.TasksRun++
 	taskStart := w.Core.Now()
+	// Each operator application restarts site indexing at micro-op 0, so
+	// index-flavored profiler sites aggregate across tasks.
+	w.Core.ProfRegion(prof.RegionOp)
 	r.op.Apply(w, t)
 	w.FlushUseful()
 	w.TL.Span(w.Track, obs.EvTask, taskStart, w.Core.Now(), int64(t.Node))

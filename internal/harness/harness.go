@@ -13,6 +13,7 @@ import (
 	"minnow/internal/kernels"
 	"minnow/internal/mem"
 	"minnow/internal/prefetch"
+	"minnow/internal/prof"
 	"minnow/internal/sim"
 	"minnow/internal/stats"
 	"minnow/internal/trace"
@@ -95,6 +96,16 @@ type Options struct {
 	// Run.Timeline (render with Timeline.Perfetto). Off by default; like
 	// MetricsEvery it observes only and never perturbs the simulation.
 	Timeline bool
+	// Profile, when true, attaches the top-down cycle-attribution
+	// profiler to every core and fills Run.Profile. Off by default; like
+	// the other observability attachments it observes only and never
+	// perturbs the simulation.
+	Profile bool
+	// OnSample, when non-nil (requires MetricsEvery > 0), is called at
+	// each crossed metrics-sample boundary with the boundary's simulated
+	// cycle and the registry's Prometheus text exposition — the live run
+	// inspector's feed. The callback must treat the run as read-only.
+	OnSample func(cycles int64, metrics string)
 }
 
 // withDefaults fills zero values.
@@ -146,6 +157,18 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 
 	msys := buildMem(o)
 	cores := buildCores(o, msys)
+
+	// Top-down profiler: attaching per-core collectors is the only
+	// profiling hook — the cpu model mirrors every attributed cycle into
+	// the collector, and nothing reads it until after the run drains.
+	var pr *prof.Profile
+	if o.Profile {
+		pr = prof.New(spec.Name, o.Threads)
+		pr.PCLabel = kernels.SiteLabel
+		for i, c := range cores {
+			c.Prof = pr.Core(i)
+		}
+	}
 
 	// Fault injection: the injector and its hooks exist only when a plan
 	// is armed, and each hook is installed only when its clause is live,
@@ -304,6 +327,7 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 		run.Intervals = ob.reg
 	}
 	run.Timeline = ob.tl
+	run.Profile = pr
 
 	if !o.SkipVerify && !run.TimedOut {
 		if err := kern.Verify(); err != nil {

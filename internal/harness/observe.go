@@ -22,6 +22,10 @@ const timelineCounterEvery = 5000
 type observer struct {
 	tl  *obs.Timeline
 	reg *obs.Registry
+	// onSample is the live-inspector feed (Options.OnSample): called at
+	// each crossed sampling boundary with the registry's freshest row
+	// rendered as Prometheus text.
+	onSample func(cycles int64, metrics string)
 }
 
 // buildObserver constructs the timeline and sampling registry selected by
@@ -56,6 +60,7 @@ func buildObserver(o Options, cores []*cpu.Core, workers []*galois.Worker,
 	if o.MetricsEvery > 0 {
 		ob.reg = obs.NewRegistry(sim.Time(o.MetricsEvery))
 		ob.registerColumns(cores, engines, gwl, swWL, msys, inj)
+		ob.onSample = o.OnSample
 	}
 	return ob
 }
@@ -179,8 +184,12 @@ func (ob *observer) install(eng *sim.Engine, engines []*core.Engine,
 	occ := occupancyFn(engines, gwl, swWL)
 	tl := ob.tl
 	reg := ob.reg
+	onSample := ob.onSample
 	eng.SetProbe(every, func(at sim.Time) {
 		reg.Sample(at)
+		if onSample != nil {
+			onSample(int64(at), reg.PromText())
+		}
 		if tl != nil {
 			tl.Counter(obs.EvOccupancy, at, occ())
 			tl.Counter(obs.EvNoCFlits, at, msys.Mesh.Flits)

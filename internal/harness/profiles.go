@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+
+	"minnow/internal/prof"
+	"minnow/internal/stats"
+)
+
+// FigCPIStack regenerates the Fig. 5 cycle breakdown through the
+// top-down profiler: the same runs as Fig5, but each bar refined into
+// stall cause × serving level, for the software baseline and the full
+// Minnow+prefetch system side by side. Values are fractions of total
+// core cycles, so each row sums to 1 (the profiler's conservation
+// property).
+func FigCPIStack(f FigOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: fmt.Sprintf("cpistack: refined cycle attribution at %d threads (fraction of core cycles)", f.Threads),
+		Headers: []string{"workload", "sched", "useful", "branch", "load-near", "load-L3",
+			"load-remote", "load-DRAM", "store", "fence", "enqueue", "dequeue", "backpressure"},
+	}
+	scheds := []string{"obim", "minnow+pf"}
+	var jobs []Job
+	for _, name := range f.benchNames() {
+		o := f.base()
+		o.Profile = true
+		om := o
+		om.Scheduler = "minnow"
+		om.Prefetch = true
+		jobs = append(jobs, Job{Bench: name, Opts: o}, Job{Bench: name, Opts: om})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range f.benchNames() {
+		for j, sched := range scheds {
+			t.AddRow(cpiRow(name, sched, runs[2*i+j].Profile)...)
+		}
+	}
+	return t, nil
+}
+
+// cpiRow folds one profile into the cpistack columns.
+func cpiRow(name, sched string, p *prof.Profile) []any {
+	var useful, branch, store, fence, enq, deq, bp float64
+	loadBy := map[prof.Level]float64{}
+	for _, l := range p.Leaves() {
+		c := float64(l.Cycles)
+		switch l.Cause {
+		case prof.CauseUseful:
+			useful += c
+		case prof.CauseBranch:
+			branch += c
+		case prof.CauseLoad:
+			loadBy[l.Level] += c
+		case prof.CauseStore:
+			store += c
+		case prof.CauseFence:
+			fence += c
+		case prof.CauseEnqueue:
+			enq += c
+		case prof.CauseDequeue:
+			deq += c
+		case prof.CauseBackpressure:
+			bp += c
+		}
+	}
+	total := float64(p.Total())
+	frac := func(v float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return v / total
+	}
+	loadNear := loadBy[prof.LvlNone] + loadBy[prof.LvlL1] + loadBy[prof.LvlL2]
+	return []any{name, sched,
+		frac(useful), frac(branch), frac(loadNear), frac(loadBy[prof.LvlL3]),
+		frac(loadBy[prof.LvlRemote]), frac(loadBy[prof.LvlDRAM]),
+		frac(store), frac(fence), frac(enq), frac(deq), frac(bp)}
+}

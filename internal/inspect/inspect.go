@@ -1,0 +1,89 @@
+// Package inspect is the live run inspector: a small HTTP server that
+// exposes the *host process* profiling endpoints (net/http/pprof — heap,
+// goroutine, CPU profiles of the simulator itself) alongside a
+// /metrics endpoint publishing the simulation's time-series registry in
+// the Prometheus text exposition format, refreshed at every crossed
+// metrics-sample boundary.
+//
+// Observe-only contract: the server never touches simulation state. It
+// consumes the harness's OnSample callback — a cycle stamp plus a
+// pre-rendered text snapshot — and stores it behind a mutex for HTTP
+// readers. Enabling the inspector cannot change wall cycles, event-loop
+// steps, or any RunSummary field: the simulation thread only copies a
+// string pointer under a lock. (The callback itself fires only when
+// metrics sampling is on, so -http requires -metrics-every.)
+package inspect
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is one live inspector instance bound to a TCP address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	cycles int64
+	prom   string
+}
+
+// Start listens on addr (host:port; an empty host binds all interfaces)
+// and serves the inspector endpoints: /metrics and /debug/pprof/.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("inspect: %w", err)
+	}
+	s := &Server{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.index)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// OnSample stores the latest metrics snapshot; its signature matches the
+// harness OnSample hook so it wires directly into minnow.Config.
+func (s *Server) OnSample(cycles int64, metrics string) {
+	s.mu.Lock()
+	s.cycles, s.prom = cycles, metrics
+	s.mu.Unlock()
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// metrics serves the Prometheus text exposition of the latest sample.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	prom := s.prom
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if prom == "" {
+		fmt.Fprintln(w, "# no sample yet (first metrics-sample boundary not crossed)")
+		return
+	}
+	fmt.Fprint(w, prom)
+}
+
+// index names the endpoints for humans landing on /.
+func (s *Server) index(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	cyc := s.cycles
+	s.mu.Unlock()
+	fmt.Fprintf(w, "minnow live inspector\n\nsimulated cycles: %d\n\n/metrics      Prometheus text exposition of the interval registry\n/debug/pprof/ host-process profiles (heap, goroutine, CPU)\n", cyc)
+}

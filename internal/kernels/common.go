@@ -155,3 +155,60 @@ func taskRange(g *graph.Graph, t worklist.Task) (lo, hi int32) {
 
 // pcBase assigns each kernel a distinct branch-site PC namespace.
 func pcBase(kernelID uint64) uint64 { return kernelID << 8 }
+
+// kernelOfPC names the kernel namespace a static PC belongs to (the
+// inverse of pcBase).
+func kernelOfPC(pc uint64) string {
+	switch pc >> 8 {
+	case 1:
+		return "sssp"
+	case 2:
+		return "bfs"
+	case 3:
+		return "cc"
+	case 4:
+		return "pr"
+	case 5:
+		return "tc"
+	case 6:
+		return "bc"
+	case 8:
+		return "kcore"
+	}
+	return "pc" + itoa(pc>>8)
+}
+
+// SiteLabel names a kernel static micro-op site (the PCs LoadPC/Branch
+// emit) for profiler output: "sssp.edge-load", "tc.search-load",
+// "bfs.branch1". The harness wires it into the profile as the
+// PC-flavored site vocabulary.
+func SiteLabel(pc uint64) string {
+	k := kernelOfPC(pc)
+	switch pc & 0xff {
+	case pcLoadEdge:
+		return k + ".edge-load"
+	case pcLoadDest:
+		return k + ".dest-load"
+	case pcLoadSrc:
+		return k + ".node-load"
+	case pcLoadSearch:
+		return k + ".search-load"
+	}
+	return k + ".branch" + itoa(pc&0xff)
+}
+
+// itoa is a dependency-free decimal formatter for SiteLabel (avoids
+// pulling fmt into the per-leaf rendering path).
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

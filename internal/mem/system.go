@@ -44,8 +44,10 @@ type Result struct {
 	Done         sim.Time // completion (data available) time
 	Level        uint8    // 1=L1, 2=L2, 3=L3, 4=DRAM
 	Marked       bool     // EnginePrefetch marked a previously unmarked line
-	UsedPrefetch bool     // demand access consumed a prefetch-marked L2 line
+	UsedPrefetch bool     // demand access consumed a prefetch-marked line
 	TLBMiss      bool     // engine access raised a TLB-miss exception
+	Remote       bool     // data forwarded from a remote L2's modified copy
+	PFLate       bool     // the consumed prefetched line was still in flight
 }
 
 // Config sets the hierarchy geometry and latencies. The defaults in
@@ -297,14 +299,16 @@ func (s *System) handleL2Evict(core int, ev Evicted) {
 }
 
 // fetchShared brings a line to core's L2 from L3/DRAM, handling the
-// directory, and returns the time data arrives at the core tile plus the
-// level that supplied it. write requests exclusive ownership.
-func (s *System) fetchShared(core int, line uint64, write bool, t sim.Time) (sim.Time, uint8) {
+// directory, and returns the time data arrives at the core tile, the
+// level that supplied it, and whether a remote L2's modified copy served
+// it. write requests exclusive ownership.
+func (s *System) fetchShared(core int, line uint64, write bool, t sim.Time) (sim.Time, uint8, bool) {
 	bank := s.bankOf(line)
 	// Request flit to the home bank.
 	t = s.Mesh.Traverse(core, bank, t)
 	t = s.l3p[bank].reserve(t)
 	level := uint8(3)
+	remote := false
 
 	e, tracked := s.dir[line]
 	if !tracked {
@@ -315,6 +319,7 @@ func (s *System) fetchShared(core int, line uint64, write bool, t sim.Time) (sim
 	// bank -> owner -> bank), demoting it to shared (or invalid on write).
 	if e.dirtyOwner >= 0 && int(e.dirtyOwner) != core {
 		owner := int(e.dirtyOwner)
+		remote = true
 		if !write {
 			s.DirtyRemote++
 		}
@@ -382,7 +387,7 @@ func (s *System) fetchShared(core int, line uint64, write bool, t sim.Time) (sim
 
 	// Data flit back to the requesting tile.
 	t = s.Mesh.Traverse(bank, core, t)
-	return t, level
+	return t, level, remote
 }
 
 // Access runs one memory access through the hierarchy and returns its
@@ -428,6 +433,7 @@ func (s *System) Access(core int, addr uint64, kind Kind, now sim.Time) Result {
 				// and return the credit (at full scale the line would
 				// not be L1-resident; see DESIGN.md).
 				s.L1ShieldedHits++
+				res.UsedPrefetch = true
 				s.creditEvent(core, true)
 			}
 			res.Done = waitReady(now+s.cfg.L1Latency, rdy)
@@ -442,7 +448,7 @@ func (s *System) Access(core int, addr uint64, kind Kind, now sim.Time) Result {
 			// other sharers.
 			if write {
 				if e, ok := s.dir[line]; ok && (e.sharers&^(1<<uint(core)) != 0 || (e.dirtyOwner >= 0 && int(e.dirtyOwner) != core)) {
-					done, _ := s.fetchShared(core, line, true, now)
+					done, _, _ := s.fetchShared(core, line, true, now)
 					res.Done = done + s.cfg.L1Latency
 					res.Level = 2
 				} else if ok {
@@ -471,13 +477,16 @@ func (s *System) Access(core int, addr uint64, kind Kind, now sim.Time) Result {
 	}
 	if hit {
 		done := waitReady(now+s.cfg.L2Latency, rdy) // in-flight fill wait
+		if res.UsedPrefetch && done > now+s.cfg.L2Latency {
+			res.PFLate = true // first use caught the fill still in flight
+		}
 		res.Level = 2
 		if kind == Atomic || kind == EngineAtomic {
 			done += s.cfg.AtomicExtra
 		}
 		if write {
 			if e, ok := s.dir[line]; ok && (e.sharers&^(1<<uint(core)) != 0 || (e.dirtyOwner >= 0 && int(e.dirtyOwner) != core)) {
-				d2, _ := s.fetchShared(core, line, true, done)
+				d2, _, _ := s.fetchShared(core, line, true, done)
 				done = d2
 			} else if ok {
 				e.dirtyOwner = int8(core)
@@ -498,8 +507,9 @@ func (s *System) Access(core int, addr uint64, kind Kind, now sim.Time) Result {
 	}
 
 	// L2 miss: out to the shared levels.
-	done, level := s.fetchShared(core, line, write, now+s.cfg.L2Latency)
+	done, level, remote := s.fetchShared(core, line, write, now+s.cfg.L2Latency)
 	res.Level = level
+	res.Remote = remote
 	if kind == Atomic || kind == EngineAtomic {
 		done += s.cfg.AtomicExtra
 	}

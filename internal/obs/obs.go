@@ -66,6 +66,24 @@ const (
 	EvL2Miss
 	// EvWriteback is a dirty line displaced from an L2 (instant).
 	EvWriteback
+	// EvStallFence is a core retire-stall attributed to an atomic
+	// read-modify-write and its x86-TSO fence serialization (instant; the
+	// argument is the stall length in cycles).
+	EvStallFence
+	// EvStallBranch is a core retire-stall attributed to a
+	// branch-mispredict pipeline refill (instant; the argument is the
+	// stall length in cycles).
+	EvStallBranch
+	// EvStallWorklist is a core stall inside a worklist operation — a
+	// blocked enqueue/dequeue, spill backpressure, or the idle spin
+	// between failed dequeues (instant; the argument is the stall length
+	// in cycles).
+	EvStallWorklist
+	// EvStallDep is a retire gap inside useful work with no miss or
+	// mispredict to blame: dependence chains and issue-width limits
+	// resolving late (instant; the argument is the stall length in
+	// cycles).
+	EvStallDep
 
 	// EvOccupancy is the worklist occupancy counter track: tasks queued
 	// anywhere (global worklist + local queues + spill queues).
@@ -120,6 +138,14 @@ func (k Kind) String() string {
 		return "l2-miss"
 	case EvWriteback:
 		return "writeback"
+	case EvStallFence:
+		return "stall-fence"
+	case EvStallBranch:
+		return "stall-branch"
+	case EvStallWorklist:
+		return "stall-worklist"
+	case EvStallDep:
+		return "stall-dep"
 	case EvOccupancy:
 		return "worklist-occupancy"
 	case EvCredits:

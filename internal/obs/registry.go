@@ -172,6 +172,36 @@ func formatCell(v float64) string {
 	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
+// PromText renders the most recent sample row in the Prometheus text
+// exposition format, one `minnow_<column> value` line per column plus a
+// `minnow_cycles` line carrying the row's simulated-cycle stamp. Column
+// names are sanitized (non-alphanumerics become underscores). Returns
+// the empty string until the first sample lands, and on a nil registry.
+func (r *Registry) PromText() string {
+	if r == nil || len(r.rows) == 0 {
+		return ""
+	}
+	i := len(r.rows) - 1
+	var b strings.Builder
+	b.WriteString("minnow_cycles ")
+	b.WriteString(strconv.FormatInt(int64(r.stamps[i]), 10))
+	b.WriteByte('\n')
+	for j := range r.cols {
+		b.WriteString("minnow_")
+		for _, ch := range r.cols[j].name {
+			if ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch >= '0' && ch <= '9' || ch == '_' {
+				b.WriteRune(ch)
+			} else {
+				b.WriteByte('_')
+			}
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatCell(r.rows[i][j]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // CSV renders the interval rows as comma-separated values with a leading
 // "cycle" column, the format cmd/figures and external plotting consume.
 func (r *Registry) CSV() string {

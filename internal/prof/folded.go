@@ -1,0 +1,28 @@
+package prof
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Folded renders the merged attribution tree in the folded-stack format
+// flamegraph tooling consumes: one `frame;frame;...;frame cycles` line
+// per leaf, root first, sorted lexicographically. The rendering is
+// byte-deterministic for a given run (the golden-file and -jobs
+// stability tests pin this).
+func (p *Profile) Folded() string {
+	leaves := p.Leaves()
+	lines := make([]string, 0, len(leaves))
+	for _, l := range leaves {
+		lines = append(lines,
+			strings.Join(p.frames(l), ";")+" "+strconv.FormatInt(l.Cycles, 10))
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, ln := range lines {
+		b.WriteString(ln)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

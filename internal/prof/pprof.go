@@ -1,0 +1,163 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+)
+
+// The pprof profile.proto encoder. The profile format is a stable,
+// widely-implemented protobuf schema; hand-rolling the dozen fields we
+// emit keeps the simulator dependency-free. Field numbers follow
+// github.com/google/pprof/proto/profile.proto:
+//
+//	Profile:  1 sample_type, 2 sample, 4 location, 5 function,
+//	          6 string_table, 10 duration_nanos, 11 period_type, 12 period
+//	ValueType: 1 type, 2 unit
+//	Sample:    1 location_id (packed), 2 value (packed)
+//	Location:  1 id, 4 line
+//	Line:      1 function_id
+//	Function:  1 id, 2 name, 3 system_name, 4 filename
+//
+// Samples list locations leaf-first, so `go tool pprof -top` ranks the
+// attribution sites and the cause/level/outcome frames form the callers.
+
+// pbuf is a minimal protobuf wire-format writer.
+type pbuf struct{ b []byte }
+
+// uvarint appends a base-128 varint.
+func (p *pbuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// key appends a field key with the given wire type.
+func (p *pbuf) key(field, wire int) { p.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+// varintField appends a varint-typed field; zero values are omitted
+// (proto3 default semantics).
+func (p *pbuf) varintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, 0)
+	p.uvarint(v)
+}
+
+// bytesField appends a length-delimited field.
+func (p *pbuf) bytesField(field int, data []byte) {
+	p.key(field, 2)
+	p.uvarint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+// packedField appends a packed repeated varint field.
+func (p *pbuf) packedField(field int, vals []uint64) {
+	var t pbuf
+	for _, v := range vals {
+		t.uvarint(v)
+	}
+	p.bytesField(field, t.b)
+}
+
+// stringTab interns strings into the profile's string table (index 0 is
+// the mandatory empty string).
+type stringTab struct {
+	idx  map[string]uint64
+	list []string
+}
+
+func newStringTab() *stringTab {
+	return &stringTab{idx: map[string]uint64{"": 0}, list: []string{""}}
+}
+
+func (s *stringTab) of(v string) uint64 {
+	if i, ok := s.idx[v]; ok {
+		return i
+	}
+	i := uint64(len(s.list))
+	s.idx[v] = i
+	s.list = append(s.list, v)
+	return i
+}
+
+// valueType encodes a ValueType message.
+func valueType(st *stringTab, typ, unit string) []byte {
+	var v pbuf
+	v.varintField(1, st.of(typ))
+	v.varintField(2, st.of(unit))
+	return v.b
+}
+
+// Pprof renders the merged attribution tree as a gzipped pprof protobuf
+// of simulated cycles, loadable with `go tool pprof` and any pprof UI.
+// Every frame becomes a synthetic function; samples stack leaf-first
+// (site, outcome, level, cause, benchmark). The output is
+// byte-deterministic: no timestamps, interning in first-use order over
+// deterministically sorted leaves.
+func (p *Profile) Pprof() []byte {
+	st := newStringTab()
+	filename := st.of("minnow-sim")
+
+	// Intern each distinct frame label as one function + one location
+	// (ids are equal and 1-based).
+	locOf := map[string]uint64{}
+	var funcs, locs pbuf
+	intern := func(label string) uint64 {
+		if id, ok := locOf[label]; ok {
+			return id
+		}
+		id := uint64(len(locOf) + 1)
+		locOf[label] = id
+		var fn pbuf
+		fn.varintField(1, id)
+		fn.varintField(2, st.of(label))
+		fn.varintField(3, st.of(label))
+		fn.varintField(4, filename)
+		funcs.bytesField(5, fn.b)
+		var line pbuf
+		line.varintField(1, id)
+		var loc pbuf
+		loc.varintField(1, id)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+		return id
+	}
+
+	var samples pbuf
+	var total int64
+	for _, l := range p.Leaves() {
+		frames := p.frames(l)
+		ids := make([]uint64, len(frames))
+		for i, f := range frames {
+			ids[len(frames)-1-i] = intern(f) // leaf-first
+		}
+		var s pbuf
+		s.packedField(1, ids)
+		s.packedField(2, []uint64{uint64(l.Cycles)})
+		samples.bytesField(2, s.b)
+		total += l.Cycles
+	}
+
+	var out pbuf
+	out.bytesField(1, valueType(st, "cycles", "cycles"))
+	out.b = append(out.b, samples.b...)
+	out.b = append(out.b, locs.b...)
+	out.b = append(out.b, funcs.b...)
+	for _, s := range st.list {
+		out.bytesField(6, []byte(s))
+	}
+	// One simulated cycle is reported as one nanosecond so pprof's
+	// duration header is meaningful; period 1 cycle per sample.
+	out.varintField(10, uint64(total))
+	out.bytesField(11, valueType(st, "cycles", "cycles"))
+	out.varintField(12, 1)
+
+	var gz bytes.Buffer
+	w := gzip.NewWriter(&gz) // zero ModTime: output is byte-deterministic
+	w.Write(out.b)           //nolint:errcheck // bytes.Buffer cannot fail
+	w.Close()                //nolint:errcheck
+	return gz.Bytes()
+}

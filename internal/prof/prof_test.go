@@ -1,0 +1,279 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSiteRoundTrip pins the leaf-key packing: every site flavor must
+// decode back to the region, value, and taxonomy coordinates it was
+// encoded with.
+func TestSiteRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		site  Site
+		cause Cause
+		lvl   Level
+		out   Outcome
+		check func(t *testing.T, l Leaf)
+	}{
+		{"index", IndexSite(RegionOp, 7), CauseLoad, LvlDRAM, OutUncovered,
+			func(t *testing.T, l Leaf) {
+				if l.Region != RegionOp || l.Index != 7 || l.PC != 0 || l.Wait {
+					t.Fatalf("index leaf decoded as %+v", l)
+				}
+			}},
+		{"pc", PCSite(RegionOp, 0x141), CauseLoad, LvlRemote, OutLate,
+			func(t *testing.T, l Leaf) {
+				if l.Region != RegionOp || l.PC != 0x141 || l.Index != -1 || l.Wait {
+					t.Fatalf("pc leaf decoded as %+v", l)
+				}
+			}},
+		{"wait", WaitSite(RegionDeq), CauseDequeue, LvlNone, OutNone,
+			func(t *testing.T, l Leaf) {
+				if l.Region != RegionDeq || !l.Wait || l.PC != 0 || l.Index != -1 {
+					t.Fatalf("wait leaf decoded as %+v", l)
+				}
+			}},
+		{"overflow", IndexSite(RegionEnq, 5000), CauseEnqueue, LvlNone, OutNone,
+			func(t *testing.T, l Leaf) {
+				if l.Index != maxSiteIndex {
+					t.Fatalf("overflow index = %d, want %d", l.Index, maxSiteIndex)
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New("bench", 1)
+			p.Core(0).Add(tc.site, tc.cause, tc.lvl, tc.out, 42)
+			leaves := p.CoreLeaves(0)
+			if len(leaves) != 1 {
+				t.Fatalf("got %d leaves, want 1", len(leaves))
+			}
+			l := leaves[0]
+			if l.Cause != tc.cause || l.Level != tc.lvl || l.Outcome != tc.out || l.Cycles != 42 {
+				t.Fatalf("taxonomy decoded as %+v", l)
+			}
+			tc.check(t, l)
+		})
+	}
+}
+
+// TestIndexOverflowCollapses pins that deep micro-op indices share one
+// leaf instead of growing the map unboundedly.
+func TestIndexOverflowCollapses(t *testing.T) {
+	if IndexSite(RegionOp, maxSiteIndex+1) != IndexSite(RegionOp, 1<<20) {
+		t.Fatal("overflow indices should collapse to one site")
+	}
+	if IndexSite(RegionOp, -1) != IndexSite(RegionOp, maxSiteIndex) {
+		t.Fatal("negative indices should collapse to the overflow site")
+	}
+}
+
+// TestNilSafety pins the disabled-profiler contract: a nil CoreProf
+// accepts Add and reports zero.
+func TestNilSafety(t *testing.T) {
+	var c *CoreProf
+	c.Add(IndexSite(RegionOp, 0), CauseUseful, LvlNone, OutNone, 100)
+	if c.Total() != 0 {
+		t.Fatal("nil CoreProf should total 0")
+	}
+}
+
+// TestClassifyMem pins the mem.Result → (level, outcome) mapping.
+func TestClassifyMem(t *testing.T) {
+	cases := []struct {
+		level                uint8
+		remote, usedPF, late bool
+		wantLvl              Level
+		wantOut              Outcome
+	}{
+		{1, false, false, false, LvlL1, OutNone},
+		{2, false, false, false, LvlL2, OutNone},
+		{2, false, true, false, LvlL2, OutCovered},
+		{2, false, true, true, LvlL2, OutLate},
+		{3, false, false, false, LvlL3, OutUncovered},
+		{3, true, false, false, LvlRemote, OutUncovered},
+		{4, false, false, false, LvlDRAM, OutUncovered},
+		{4, false, true, true, LvlDRAM, OutLate},
+		{0, false, false, false, LvlNone, OutNone},
+	}
+	for _, tc := range cases {
+		lvl, out := ClassifyMem(tc.level, tc.remote, tc.usedPF, tc.late)
+		if lvl != tc.wantLvl || out != tc.wantOut {
+			t.Errorf("ClassifyMem(%d,%v,%v,%v) = (%v,%v), want (%v,%v)",
+				tc.level, tc.remote, tc.usedPF, tc.late, lvl, out, tc.wantLvl, tc.wantOut)
+		}
+	}
+}
+
+// TestCoarseMirrorsCycleCat pins Leaf.Coarse against the flat
+// stats.CycleCat attribution rules the cpu model applies.
+func TestCoarseMirrorsCycleCat(t *testing.T) {
+	cases := []struct {
+		cause Cause
+		lvl   Level
+		want  int
+	}{
+		{CauseUseful, LvlNone, 0},
+		{CauseBranch, LvlNone, 0},
+		{CauseLoad, LvlL1, 0}, // near hit counts as useful in the flat view
+		{CauseLoad, LvlL2, 0},
+		{CauseLoad, LvlL3, 2},
+		{CauseLoad, LvlRemote, 2},
+		{CauseLoad, LvlDRAM, 2},
+		{CauseStore, LvlL2, 0},
+		{CauseStore, LvlDRAM, 3},
+		{CauseFence, LvlNone, 3}, // atomics always count as store-miss time
+		{CauseEnqueue, LvlNone, 1},
+		{CauseDequeue, LvlNone, 1},
+		{CauseBackpressure, LvlNone, 1},
+	}
+	for _, tc := range cases {
+		l := Leaf{Cause: tc.cause, Level: tc.lvl}
+		if got := l.Coarse(); got != tc.want {
+			t.Errorf("Coarse(%v,%v) = %d, want %d", tc.cause, tc.lvl, got, tc.want)
+		}
+	}
+}
+
+// fillProfile builds a small two-core profile exercising every frame
+// shape.
+func fillProfile() *Profile {
+	p := New("SSSP", 2)
+	p.PCLabel = func(pc uint64) string { return "site" }
+	p.Core(0).Add(PCSite(RegionOp, 0x141), CauseLoad, LvlDRAM, OutCovered, 500)
+	p.Core(0).Add(IndexSite(RegionOp, 3), CauseUseful, LvlNone, OutNone, 250)
+	p.Core(0).Add(WaitSite(RegionDeq), CauseDequeue, LvlNone, OutNone, 100)
+	p.Core(1).Add(PCSite(RegionOp, 0x141), CauseLoad, LvlDRAM, OutCovered, 40)
+	p.Core(1).Add(WaitSite(RegionBackpressure), CauseBackpressure, LvlNone, OutNone, 10)
+	return p
+}
+
+// TestTotalsAndBuckets pins merge arithmetic: per-core totals, the
+// merged total, and the coarse fold.
+func TestTotalsAndBuckets(t *testing.T) {
+	p := fillProfile()
+	if got := p.Core(0).Total(); got != 850 {
+		t.Fatalf("core 0 total = %d, want 850", got)
+	}
+	if got := p.Total(); got != 900 {
+		t.Fatalf("merged total = %d, want 900", got)
+	}
+	b := p.CoarseBuckets()
+	if b[0] != 250 || b[1] != 110 || b[2] != 540 || b[3] != 0 {
+		t.Fatalf("coarse buckets = %v, want [250 110 540 0]", b)
+	}
+	if b[0]+b[1]+b[2]+b[3] != p.Total() {
+		t.Fatal("coarse buckets must partition the total")
+	}
+}
+
+// TestStackPartitions pins the rendered tree: the root carries the total
+// and every node's children partition it.
+func TestStackPartitions(t *testing.T) {
+	p := fillProfile()
+	root := p.Stack()
+	if root.Label != "SSSP" || root.Cycles != p.Total() {
+		t.Fatalf("root = %q/%d, want SSSP/%d", root.Label, root.Cycles, p.Total())
+	}
+	var walk func(n *CycleStack)
+	walk = func(n *CycleStack) {
+		if len(n.Kids) == 0 {
+			return
+		}
+		var sum int64
+		for _, k := range n.Kids {
+			sum += k.Cycles
+			walk(k)
+		}
+		if sum != n.Cycles {
+			t.Fatalf("node %q: children sum %d != node %d", n.Label, sum, n.Cycles)
+		}
+	}
+	walk(root)
+}
+
+// TestFoldedFormat pins the folded-stack rendering: sorted, newline
+// terminated, weights summing to the profile total, stable across calls.
+func TestFoldedFormat(t *testing.T) {
+	p := fillProfile()
+	f := p.Folded()
+	if f != p.Folded() {
+		t.Fatal("Folded must be deterministic")
+	}
+	lines := strings.Split(strings.TrimSuffix(f, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d folded lines, want 4:\n%s", len(lines), f)
+	}
+	var sum int64
+	for i, ln := range lines {
+		if i > 0 && lines[i-1] > ln {
+			t.Fatalf("folded lines not sorted: %q > %q", lines[i-1], ln)
+		}
+		if !strings.HasPrefix(ln, "SSSP;") {
+			t.Fatalf("folded line missing root frame: %q", ln)
+		}
+		var w int64
+		for _, r := range ln[strings.LastIndexByte(ln, ' ')+1:] {
+			w = w*10 + int64(r-'0')
+		}
+		sum += w
+	}
+	if sum != p.Total() {
+		t.Fatalf("folded weights sum to %d, want %d", sum, p.Total())
+	}
+	want := "SSSP;load;DRAM;covered;apply@site 540"
+	if !strings.Contains(f, want+"\n") {
+		t.Fatalf("folded output missing merged line %q:\n%s", want, f)
+	}
+}
+
+// TestPprofDeterministicGzip pins the pprof rendering: byte-identical
+// across calls, valid gzip, and the payload carries the frame labels in
+// its string table.
+func TestPprofDeterministicGzip(t *testing.T) {
+	p := fillProfile()
+	a, b := p.Pprof(), p.Pprof()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Pprof must be byte-deterministic")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("pprof output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gzip payload: %v", err)
+	}
+	for _, label := range []string{"SSSP", "load", "DRAM", "covered", "apply@site",
+		"worklist-dequeue", "engine-backpressure", "cycles", "minnow-sim"} {
+		if !bytes.Contains(raw, []byte(label)) {
+			t.Errorf("pprof string table missing %q", label)
+		}
+	}
+}
+
+// TestRegionCause pins which regions force a worklist cause.
+func TestRegionCause(t *testing.T) {
+	cases := []struct {
+		r    Region
+		want Cause
+		ok   bool
+	}{
+		{RegionOp, CauseUseful, false},
+		{RegionEnq, CauseEnqueue, true},
+		{RegionDeq, CauseDequeue, true},
+		{RegionIdle, CauseDequeue, true},
+		{RegionBackpressure, CauseBackpressure, true},
+	}
+	for _, tc := range cases {
+		c, ok := RegionCause(tc.r)
+		if ok != tc.ok || (ok && c != tc.want) {
+			t.Errorf("RegionCause(%v) = (%v,%v), want (%v,%v)", tc.r, c, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -4,9 +4,10 @@
 // delinquent load density Fig. 6, the Fig. 5 cycle breakdown, speedups).
 //
 // Determinism contract: everything in Run except the observability
-// attachments (Trace, Intervals, Timeline) is part of RunSummary, the
-// canonical fingerprint two runs of one configuration must reproduce
-// byte-for-byte; see summary.go for what is excluded and why.
+// attachments (Trace, Intervals, Timeline, Profile) is part of
+// RunSummary, the canonical fingerprint two runs of one configuration
+// must reproduce byte-for-byte; see summary.go for what is excluded and
+// why.
 package stats
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"minnow/internal/obs"
+	"minnow/internal/prof"
 	"minnow/internal/trace"
 )
 
@@ -191,14 +193,18 @@ type Run struct {
 	AvgLoadLat  float64 // mean demand-load latency (diagnostics)
 	DirtyRemote int64   // reads served from remote modified copies
 	// Trace holds the engine event log when tracing was enabled.
-	Trace      *trace.Buffer
+	Trace *trace.Buffer
 	// Intervals holds the time-series sampling rows when metrics
 	// sampling was enabled (Options.MetricsEvery).
 	Intervals *obs.Registry
 	// Timeline holds the full-system event timeline when timeline
 	// collection was enabled (Options.Timeline); render it with
 	// Timeline.Perfetto.
-	Timeline   *obs.Timeline
+	Timeline *obs.Timeline
+	// Profile holds the refined cycle-attribution tree when the top-down
+	// profiler was enabled (Options.Profile); render it with
+	// Profile.Folded / Profile.Pprof / Profile.Stack.
+	Profile    *prof.Profile
 	LatByLevel [5]int64 // summed demand-load latency by supplying level
 	CntByLevel [5]int64 // demand-load count by supplying level
 

@@ -10,9 +10,10 @@ import (
 // counter the simulator guarantees to reproduce for a given configuration
 // and seed, and nothing else. The observability attachments are excluded
 // by design: the event trace is a bounded ring whose contents depend on
-// its configured depth, and the interval registry and timeline depend on
-// the operator-chosen sampling interval — none of them may influence (or
-// be influenced by) anything summarized here. Enabling observability must
+// its configured depth, the interval registry and timeline depend on
+// the operator-chosen sampling interval, and the cycle-attribution
+// profile is a refinement of counters already summarized — none of them
+// may influence (or be influenced by) anything summarized here. Enabling observability must
 // leave the summary byte-identical; the harness obs tests assert it. Two
 // runs of the same configuration must produce byte-identical summaries;
 // VerifyDeterminism and the -race harness tests compare them.

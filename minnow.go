@@ -95,6 +95,18 @@ type Config struct {
 	// cache misses, engine spill/fill/prefetch activity, counter tracks);
 	// the Chrome-trace/Perfetto JSON is returned in Result.TimelineJSON.
 	Timeline bool
+	// Profile enables the top-down cycle-attribution profiler: every core
+	// cycle is refined into stall cause × serving level × prefetch
+	// outcome, keyed by attribution site. The folded-stack rendering is
+	// returned in Result.Folded and the pprof protobuf in
+	// Result.ProfilePprof. Off by default; observe-only.
+	Profile bool
+	// OnSample, when non-nil, is invoked at every crossed metrics-sample
+	// boundary with the boundary's simulated cycle and the latest metrics
+	// row in Prometheus text format (the live run inspector's feed).
+	// Requires MetricsEvery > 0. The callback must not mutate simulation
+	// state; it runs on the simulation goroutine.
+	OnSample func(cycles int64, metrics string)
 
 	// Faults arms the deterministic fault-injection plan: a preset name
 	// ("transient", "offline", "chaos") or a clause expression such as
@@ -145,6 +157,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("minnow: CustomPrefetch requires Minnow and Prefetch")
 	case c.Minnow && c.Scheduler != "" && c.Scheduler != "minnow":
 		return fmt.Errorf("minnow: Minnow conflicts with Scheduler %q — the engine owns the worklist", c.Scheduler)
+	case c.OnSample != nil && c.MetricsEvery <= 0:
+		return fmt.Errorf("minnow: OnSample fires at metrics-sample boundaries and requires MetricsEvery > 0")
 	}
 	switch c.Scheduler {
 	case "", "obim", "fifo", "lifo", "strictpq", "minnow":
@@ -190,6 +204,14 @@ type Result struct {
 	// event timeline (Config.Timeline); load it at ui.perfetto.dev. Nil
 	// when timeline collection was off.
 	TimelineJSON []byte
+	// Folded is the profiler's folded-stack rendering (Config.Profile),
+	// one "frame;frame;... cycles" line per attribution leaf — feed it to
+	// flamegraph.pl or speedscope. Empty when profiling was off.
+	Folded string
+	// ProfilePprof is the profiler's gzipped pprof protobuf of simulated
+	// cycles (Config.Profile) — inspect with `go tool pprof`. Nil when
+	// profiling was off.
+	ProfilePprof []byte
 
 	// Faults counts the faults actually injected (Config.Faults). Nil
 	// when fault injection was off.
@@ -243,6 +265,8 @@ func (c Config) toOptions() (harness.Options, error) {
 		TraceEvents:    c.TraceEvents,
 		MetricsEvery:   c.MetricsEvery,
 		Timeline:       c.Timeline,
+		Profile:        c.Profile,
+		OnSample:       c.OnSample,
 		Invariants:     c.Invariants,
 		MaxCycles:      c.MaxCycles,
 	}
@@ -321,6 +345,10 @@ func resultFrom(benchmark string, r *stats.Run) *Result {
 	}
 	if r.Timeline != nil {
 		res.TimelineJSON = r.Timeline.Perfetto()
+	}
+	if r.Profile != nil {
+		res.Folded = r.Profile.Folded()
+		res.ProfilePprof = r.Profile.Pprof()
 	}
 	if f := r.Faults; f != nil {
 		res.Faults = &FaultReport{
@@ -479,6 +507,9 @@ var figureTables = map[string]func(harness.FigOptions) (*stats.Table, error){
 	// Time-resolved views built on the interval-sampling registry.
 	"occupancy":     harness.FigOccupancy,
 	"mpki-interval": harness.FigIntervalMPKI,
+
+	// Refined Fig. 5 through the top-down profiler.
+	"cpistack": harness.FigCPIStack,
 }
 
 // RenderFigureCSV regenerates a figure as comma-separated values.
@@ -520,6 +551,7 @@ var figureFns = map[string]func(harness.FigOptions) (string, error){
 	},
 	"occupancy":     func(f harness.FigOptions) (string, error) { return tbl(harness.FigOccupancy(f)) },
 	"mpki-interval": func(f harness.FigOptions) (string, error) { return tbl(harness.FigIntervalMPKI(f)) },
+	"cpistack":      func(f harness.FigOptions) (string, error) { return tbl(harness.FigCPIStack(f)) },
 }
 
 func tbl(t interface{ String() string }, err error) (string, error) {

@@ -1,14 +1,15 @@
 // Command doccheck fails when an exported identifier in the audited
 // packages lacks a doc comment. It guards the observability and
-// statistics surfaces (internal/obs, internal/trace, internal/stats),
-// whose doc comments carry the determinism contracts the rest of the
-// simulator is written against; the CI docs job runs it on every push.
+// statistics surfaces (internal/obs, internal/trace, internal/stats,
+// internal/prof, internal/inspect), whose doc comments carry the
+// determinism contracts the rest of the simulator is written against;
+// the CI docs job runs it on every push.
 //
 // Usage:
 //
 //	go run ./tools/doccheck [package-dir ...]
 //
-// With no arguments the three audited packages are checked. Exit status
+// With no arguments the audited packages are checked. Exit status
 // is non-zero if any exported const, var, type, function, method, or
 // struct field is undocumented.
 package main
@@ -29,6 +30,8 @@ var defaultDirs = []string{
 	"internal/obs",
 	"internal/trace",
 	"internal/stats",
+	"internal/prof",
+	"internal/inspect",
 }
 
 func main() {
