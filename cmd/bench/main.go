@@ -7,10 +7,19 @@
 // double as a cross-commit determinism check: a hash change without an
 // intentional timing-model change is a regression.
 //
+// The report also carries a serial-vs-parallel section: a SPECrate-style
+// configuration of isolated benchmark copies is timed once on the serial
+// engine and once per bound/weave worker count, recording wall time,
+// steps per second, bound-phase coverage, and the wall-time speedup over
+// serial. The summary hashes of the paired runs must agree — the
+// parallel engine is byte-identical by contract — so the speedup is a
+// pure host-scheduling win, visible on multi-core machines.
+//
 // Usage:
 //
 //	bench                      # SSSP/CC/TC × {obim, minnow+prefetch}
 //	bench -out bench.json -threads 4 -scale 1
+//	bench -rate-copies 16 -rate-workers 8
 package main
 
 import (
@@ -40,15 +49,33 @@ type entry struct {
 	Instructions int64   `json:"instructions"`  // retired micro-ops
 }
 
+// rateEntry is one serial-vs-parallel rate measurement. The serial
+// engine row has IntraJobs 0 and Speedup 1; parallel rows report their
+// wall-time speedup relative to that serial row.
+type rateEntry struct {
+	Bench       string  `json:"bench"`
+	Scheduler   string  `json:"scheduler"`
+	Copies      int     `json:"copies"`
+	IntraJobs   int     `json:"intra_jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SimCycles   int64   `json:"sim_cycles"`
+	SimSteps    int64   `json:"sim_steps"`
+	BoundSteps  int64   `json:"bound_steps"` // steps run inside bound phases
+	StepsPerSec float64 `json:"steps_per_sec"`
+	Speedup     float64 `json:"speedup"`      // serial wall / this wall
+	SummaryHash string  `json:"summary_hash"` // per-copy digest (copies agree)
+}
+
 // report is the BENCH_minnow.json schema.
 type report struct {
-	Schema       string  `json:"schema"`
-	GoVersion    string  `json:"go_version"`
-	NumCPU       int     `json:"num_cpu"`
-	Threads      int     `json:"threads"`
-	Scale        int     `json:"scale"`
-	Entries      []entry `json:"entries"`
-	TotalSeconds float64 `json:"total_seconds"`
+	Schema       string      `json:"schema"`
+	GoVersion    string      `json:"go_version"`
+	NumCPU       int         `json:"num_cpu"`
+	Threads      int         `json:"threads"`
+	Scale        int         `json:"scale"`
+	Entries      []entry     `json:"entries"`
+	Rate         []rateEntry `json:"rate,omitempty"`
+	TotalSeconds float64     `json:"total_seconds"`
 }
 
 func main() {
@@ -57,6 +84,8 @@ func main() {
 		threads = flag.Int("threads", 8, "simulated core count")
 		scale   = flag.Int("scale", 1, "input scale multiplier")
 		seed    = flag.Uint64("seed", 42, "graph generator seed")
+		copies  = flag.Int("rate-copies", 8, "isolated copies in the serial-vs-parallel rate section (0 = skip)")
+		workers = flag.Int("rate-workers", 0, "bound/weave workers for the parallel rate run (0 = all CPUs, capped at copies)")
 	)
 	flag.Parse()
 
@@ -70,7 +99,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "minnow-bench-v1",
+		Schema:    "minnow-bench-v2",
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Threads:   *threads,
@@ -118,6 +147,11 @@ func main() {
 				bench, c.sched, c.prefetch, dt, run.WallCycles, e.StepsPerSec, e.SummaryHash[:16])
 		}
 	}
+	if *copies > 0 {
+		if err := benchRate(&rep, *copies, *workers, *scale, *seed); err != nil {
+			fail(err)
+		}
+	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -128,6 +162,81 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s (%d entries, %.1fs total)\n", *out, len(rep.Entries), rep.TotalSeconds)
+}
+
+// benchRate times the SPECrate-style configuration — `copies` isolated
+// single-thread SSSP instances in one simulation — on the serial engine
+// and again with bound/weave workers, and appends both rows. The paired
+// runs must produce the same per-copy summary hash (the parallel engine
+// is byte-identical by contract), so any wall-time gap is host
+// parallelism, not schedule drift.
+func benchRate(rep *report, copies, workers, scale int, seed uint64) error {
+	spec, err := kernels.SpecByName("SSSP")
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > copies {
+		workers = copies
+	}
+	o := harness.Options{
+		Scale:          scale,
+		Seed:           seed,
+		Scheduler:      "obim",
+		SplitThreshold: 512,
+	}
+	measure := func(intra int) (*harness.RateResult, float64, error) {
+		ro := o
+		ro.IntraJobs = intra
+		t0 := time.Now()
+		res, err := harness.RunRate(spec, ro, copies)
+		return res, time.Since(t0).Seconds(), err
+	}
+	serial, serialWall, err := measure(0)
+	if err != nil {
+		return err
+	}
+	row := func(res *harness.RateResult, intra int, wall float64) rateEntry {
+		e := rateEntry{
+			Bench:       "SSSP-rate",
+			Scheduler:   o.Scheduler,
+			Copies:      copies,
+			IntraJobs:   intra,
+			WallSeconds: wall,
+			SimCycles:   res.WallCycles,
+			SimSteps:    res.SimSteps,
+			BoundSteps:  res.BoundSteps,
+			SummaryHash: res.Runs[0].Summary().Hash(),
+		}
+		if wall > 0 {
+			e.StepsPerSec = float64(res.SimSteps) / wall
+			e.Speedup = serialWall / wall
+		}
+		return e
+	}
+	sRow := row(serial, 0, serialWall)
+	rep.Rate = append(rep.Rate, sRow)
+	fmt.Printf("rate  %-6s copies=%-3d serial      %8.2fs  %10.0f steps/s  %s\n",
+		o.Scheduler, copies, serialWall, sRow.StepsPerSec, sRow.SummaryHash[:16])
+
+	par, parWall, err := measure(workers)
+	if err != nil {
+		return err
+	}
+	pRow := row(par, workers, parWall)
+	if pRow.SummaryHash != sRow.SummaryHash {
+		return fmt.Errorf("bench: rate hash diverged serial=%s parallel=%s", sRow.SummaryHash, pRow.SummaryHash)
+	}
+	rep.Rate = append(rep.Rate, pRow)
+	fmt.Printf("rate  %-6s copies=%-3d workers=%-3d %8.2fs  %10.0f steps/s  %s  speedup %.2fx (bound %d/%d steps)\n",
+		o.Scheduler, copies, workers, parWall, pRow.StepsPerSec, pRow.SummaryHash[:16],
+		pRow.Speedup, par.BoundSteps, par.SimSteps)
+	if runtime.NumCPU() == 1 {
+		fmt.Println("rate  NOTE: single-CPU host; the parallel engine cannot beat serial wall time here")
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -48,6 +48,8 @@ func main() {
 		profile  = flag.String("profile", "", "write a pprof profile of simulated cycles to this file (inspect with `go tool pprof`)")
 		folded   = flag.String("folded", "", "write the profiler's folded stacks to this file (feed to flamegraph tooling)")
 		httpAddr = flag.String("http", "", "serve the live run inspector on this address (host:port; needs -metrics-every)")
+		intra    = flag.Int("intra-jobs", 0, "bound/weave engine workers inside the simulation (0 = serial engine; output is byte-identical either way)")
+		window   = flag.Int64("epoch-window", 0, "bound/weave epoch length in cycles (0 = default; needs -intra-jobs)")
 	)
 	flag.Parse()
 
@@ -80,6 +82,8 @@ func main() {
 		Faults:         *faults,
 		Invariants:     *invar,
 		MaxCycles:      *maxCyc,
+		IntraJobs:      *intra,
+		EpochWindow:    *window,
 	}
 	if *serial {
 		cfg.Threads = 1

@@ -42,4 +42,5 @@ func main() {
 	row("minnow offload", engines)
 	row("minnow + prefetching", prefetched)
 	fmt.Printf("\nprefetch efficiency with 32 credits: %.1f%%\n", prefetched.PrefetchEfficiency*100)
+	fmt.Printf("run summary hash: %s (rerun to check determinism)\n", prefetched.SummaryHash)
 }

@@ -1,0 +1,61 @@
+package minnow_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestExamplesBuild compiles every program under examples/ with the
+// current tree, so an API change that breaks the documented entry points
+// fails `go test ./...` rather than surfacing in a user's first build.
+func TestExamplesBuild(t *testing.T) {
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			// -o to the null device: a bare single-package `go build`
+			// would drop the binary into the repo root.
+			cmd := exec.Command("go", "build", "-o", os.DevNull, "./"+filepath.Join("examples", dir))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go build examples/%s failed: %v\n%s", dir, err, out)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+}
+
+// TestQuickstartEndToEnd runs the quickstart example as a user would and
+// checks it completes, compares the three configurations, and prints a
+// non-empty canonical summary hash — the public determinism handle.
+func TestQuickstartEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quickstart runs three full simulations")
+	}
+	out, err := exec.Command("go", "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/quickstart failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"software OBIM", "minnow offload", "minnow + prefetching"} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want)).Match(out) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+	m := regexp.MustCompile(`run summary hash: ([0-9a-f]+)`).FindSubmatch(out)
+	if m == nil || len(m[1]) == 0 {
+		t.Errorf("quickstart printed no summary hash:\n%s", out)
+	}
+}

@@ -472,6 +472,16 @@ func (e *Engine) startPrefetch(fe *frontEnd, t worklist.Task, seq int64, at sim.
 
 // --- Back-end (actor) ---
 
+// Horizon implements sim.BoundedActor as an explicit always-weave
+// opt-out: every engine threadlet can touch shared state from its first
+// cycle — spills and fills go through the global worklist shards, local
+// enqueue/dequeue moves tasks other cores observe, prefetches reserve
+// shared L3/NoC/DRAM resources and draw from the credit pool, and
+// completion calls the registered wake callback. There is no cycle count
+// below which an engine step is provably private, so it declares none
+// and the parallel engine serializes it in the weave.
+func (e *Engine) Horizon() sim.Time { return 0 }
+
 // Step implements sim.Actor: execute one threadlet.
 func (e *Engine) Step() (sim.Time, bool) {
 	if e.offline {

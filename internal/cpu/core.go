@@ -14,6 +14,15 @@
 // the core holds no randomness of its own beyond the TAGE predictor's
 // deterministic tables. The optional observability hooks (TL/Track)
 // observe retire-time stalls and never feed back into timing.
+//
+// Bound/weave placement: although the pipeline structures (ROB, queues,
+// predictor) are private to the core, every memory micro-op calls into
+// the shared mem.System — updating demand counters, directory state, and
+// L3/NoC/DRAM reservations — so a core-driving actor interacts with
+// shared state from its first simulated instruction. Actors built on
+// this model must weave (declare no horizon) in sim.Engine.RunParallel
+// unless their entire memory system is a private copy (see
+// galois.Worker.Isolated and harness.RunRate).
 package cpu
 
 import (

@@ -12,6 +12,11 @@
 // sequence always produces identical latencies. BusyChannels is the
 // read-only occupancy view the observability probes sample; it never
 // mutates reservation state.
+//
+// Bound/weave placement: channel service slots are busy-until
+// reservations shared by every actor whose misses reach memory, so DRAM
+// access is weave-only under sim.Engine.RunParallel — the same rule as
+// the mesh and the L3 banks in front of it.
 package dram
 
 import "minnow/internal/sim"

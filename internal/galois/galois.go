@@ -88,6 +88,15 @@ type Worker struct {
 	Core   *cpu.Core
 	Ctx    worklist.Ctx
 	runner *Runner
+	// Isolated declares that this worker's entire world — scheduler,
+	// runner, core, memory system, kernel state — is private to it
+	// (SPECrate-style throughput copies built by harness.RunRate). An
+	// isolated worker reports an unbounded interaction horizon, making it
+	// eligible for concurrent stepping in sim.Engine.RunParallel bound
+	// phases. Never set this for workers that share a worklist or memory
+	// system: every ordinary worker step pops a shared scheduler and
+	// reserves shared L3/NoC/DRAM resources.
+	Isolated bool
 	// Degrees lets Push split tasks; kernels set it to the graph's
 	// degree function.
 	Degrees func(node int32) int32
@@ -238,6 +247,19 @@ func (w *Worker) Step() (sim.Time, bool) {
 		return w.Core.Now(), true
 	}
 	return w.Core.Now(), false
+}
+
+// Horizon implements sim.BoundedActor. A worker whose world is fully
+// private (Isolated) never interacts with shared simulation state, so it
+// can be bound-stepped through entire epochs; every other worker
+// interacts on its very first action (the scheduler pop touches the
+// shared worklist, and each memory access reserves shared L3/NoC/DRAM
+// state), so it reports horizon 0 and always weaves.
+func (w *Worker) Horizon() sim.Time {
+	if w.Isolated {
+		return sim.HorizonNever
+	}
+	return 0
 }
 
 // SWScheduler adapts a software worklist to the Scheduler interface.

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"minnow/internal/kernels"
+)
+
+// The differential equivalence suite: the parallel bound/weave engine
+// (Options.IntraJobs >= 1) must be byte-identical to the serial engine
+// on every benchmark x scheduler x seed, for every worker count — same
+// RunSummary JSON and hash, same folded profile, same timeline bytes,
+// same step count. Runs are capped by a work budget so the suite stays
+// fast; the budget stop is a deterministic galois-level event that both
+// engines hit identically.
+
+// equivWorkers are the pinned worker counts from the acceptance
+// criteria; 1 exercises the epoch machinery without host concurrency.
+var equivWorkers = []int{1, 2, 8}
+
+type engineArtifacts struct {
+	summary  []byte
+	hash     string
+	folded   string
+	timeline []byte
+	simSteps int64
+}
+
+func artifactsFor(t *testing.T, spec kernels.Spec, o Options) engineArtifacts {
+	t.Helper()
+	run, err := Run(spec, o)
+	if err != nil {
+		t.Fatalf("%s/%s (intra-jobs %d): %v", spec.Name, o.Scheduler, o.IntraJobs, err)
+	}
+	a := engineArtifacts{
+		summary:  run.Summary().JSON(),
+		hash:     run.Summary().Hash(),
+		simSteps: run.SimSteps,
+	}
+	if run.Profile != nil {
+		a.folded = run.Profile.Folded()
+	}
+	if run.Timeline != nil {
+		a.timeline = run.Timeline.Perfetto()
+	}
+	return a
+}
+
+func TestEquivalenceSerialParallel(t *testing.T) {
+	specs := append(kernels.Suite(), kernels.Extensions()...)
+	scheds := []string{"obim", "fifo", "lifo", "strictpq", "minnow"}
+	seeds := []uint64{42, 7}
+	for _, spec := range specs {
+		for _, sched := range scheds {
+			for _, seed := range seeds {
+				spec, sched, seed := spec, sched, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", spec.Name, sched, seed), func(t *testing.T) {
+					t.Parallel()
+					o := Options{
+						Threads:    4,
+						Seed:       seed,
+						Scheduler:  sched,
+						WorkBudget: 1000,
+						SkipVerify: true,
+						Timeline:   true,
+						Profile:    true,
+						Prefetch:   sched == "minnow",
+					}
+					base := artifactsFor(t, spec, o)
+					for _, w := range equivWorkers {
+						po := o
+						po.IntraJobs = w
+						po.EpochWindow = 2048
+						got := artifactsFor(t, spec, po)
+						if got.hash != base.hash || !bytes.Equal(got.summary, base.summary) {
+							t.Fatalf("workers=%d: RunSummary diverges from serial\nserial: %s\nparallel: %s",
+								w, base.summary, got.summary)
+						}
+						if got.simSteps != base.simSteps {
+							t.Errorf("workers=%d: sim steps diverge: serial %d, parallel %d", w, base.simSteps, got.simSteps)
+						}
+						if got.folded != base.folded {
+							t.Errorf("workers=%d: folded profile diverges from serial", w)
+						}
+						if !bytes.Equal(got.timeline, base.timeline) {
+							t.Errorf("workers=%d: timeline bytes diverge from serial", w)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRateEquivalence pins the configuration where the bound phase does
+// real work: isolated SPECrate-style copies. Per-copy summaries, total
+// steps, and wall cycles must match the serial schedule bit-for-bit at
+// every worker count, and the bound phase must actually engage.
+func TestRateEquivalence(t *testing.T) {
+	spec, err := kernels.SpecByName("SSSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []string{"obim", "fifo"} {
+		sched := sched
+		t.Run(sched, func(t *testing.T) {
+			t.Parallel()
+			o := Options{Scheduler: sched, WorkBudget: 800, SkipVerify: true}
+			const copies = 4
+			base, err := RunRate(spec, o, copies)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.BoundSteps != 0 {
+				t.Fatalf("serial rate run reported %d bound steps", base.BoundSteps)
+			}
+			baseSums := make([][]byte, copies)
+			for i, r := range base.Runs {
+				baseSums[i] = r.Summary().JSON()
+			}
+			for _, w := range equivWorkers {
+				po := o
+				po.IntraJobs = w
+				got, err := RunRate(spec, po, copies)
+				if err != nil {
+					t.Fatalf("intra-jobs %d: %v", w, err)
+				}
+				if got.SimSteps != base.SimSteps || got.WallCycles != base.WallCycles {
+					t.Fatalf("intra-jobs %d: steps/wall diverge: serial (%d,%d), parallel (%d,%d)",
+						w, base.SimSteps, base.WallCycles, got.SimSteps, got.WallCycles)
+				}
+				if got.BoundSteps == 0 {
+					t.Errorf("intra-jobs %d: bound phase never engaged on isolated copies", w)
+				}
+				for i, r := range got.Runs {
+					if !bytes.Equal(r.Summary().JSON(), baseSums[i]) {
+						t.Fatalf("intra-jobs %d: copy %d summary diverges\nserial: %s\nparallel: %s",
+							w, i, baseSums[i], r.Summary().JSON())
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRateRejectsUnsupported(t *testing.T) {
+	spec, err := kernels.SpecByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunRate(spec, Options{Scheduler: "minnow"}, 2); err == nil || !strings.Contains(err.Error(), "software scheduler") {
+		t.Errorf("rate with minnow scheduler: got %v, want software-scheduler error", err)
+	}
+	if _, err := RunRate(spec, Options{Scheduler: "fifo", Timeline: true}, 2); err == nil || !strings.Contains(err.Error(), "bare timing") {
+		t.Errorf("rate with timeline: got %v, want bare-timing error", err)
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	if jobs, intra := SplitBudget(3, 5); jobs != 3 || intra != 5 {
+		t.Errorf("explicit values must pass through: got (%d,%d)", jobs, intra)
+	}
+	if jobs, intra := SplitBudget(0, 0); jobs < 1 || intra != 0 {
+		t.Errorf("auto jobs with serial engine: got (%d,%d), want (>=1,0)", jobs, intra)
+	}
+	jobsWide, _ := SplitBudget(0, 1)
+	jobsSplit, _ := SplitBudget(0, 4)
+	if jobsSplit > jobsWide {
+		t.Errorf("intra width must shrink the auto jobs budget: %d > %d", jobsSplit, jobsWide)
+	}
+}

@@ -106,6 +106,21 @@ type Options struct {
 	// cycle and the registry's Prometheus text exposition — the live run
 	// inspector's feed. The callback must treat the run as read-only.
 	OnSample func(cycles int64, metrics string)
+
+	// IntraJobs selects the simulation kernel's execution mode: 0 (the
+	// default) runs the classic serial engine; n >= 1 runs the epoch-based
+	// bound/weave engine (sim.Engine.RunParallel) with n host workers
+	// stepping provably independent actors concurrently inside each
+	// epoch. IntraJobs = 1 exercises the full epoch machinery without
+	// host concurrency. Output is byte-identical to serial mode for any
+	// value — the equivalence suite pins this. Splits the host-thread
+	// budget with the run-level -jobs fan-out; see SplitBudget.
+	IntraJobs int
+	// EpochWindow is the bound/weave epoch length in cycles when
+	// IntraJobs >= 1 (0 = sim.DefaultEpochWindow). Any value produces
+	// identical output; it only trades partition overhead against
+	// bound-phase batch size.
+	EpochWindow int64
 }
 
 // withDefaults fills zero values.
@@ -293,7 +308,7 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 
 	wd := installWatchdog(eng, o, inj, runner)
 
-	_, drained := eng.Run(o.MaxSteps)
+	drained := runEngine(eng, o)
 	if eng.Halted() {
 		snap := collectSnapshot(wd.reason, eng, runner, engines, gwl, swWL, msys, inj)
 		return nil, fmt.Errorf("harness: %s/%s halted by watchdog: %s\n%s",
@@ -335,6 +350,20 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 		}
 	}
 	return run, nil
+}
+
+// runEngine drains the simulation with the execution mode Options
+// selects: the serial engine, or the epoch-based bound/weave engine with
+// IntraJobs host workers. The two are byte-identical on every drained
+// run (the differential equivalence suite pins it), so everything after
+// this call is mode-agnostic.
+func runEngine(eng *sim.Engine, o Options) bool {
+	if o.IntraJobs <= 0 {
+		_, drained := eng.Run(o.MaxSteps)
+		return drained
+	}
+	_, drained := eng.RunParallel(o.MaxSteps, sim.Time(o.EpochWindow), o.IntraJobs)
+	return drained
 }
 
 // collect assembles the stats.Run from all components.

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"minnow/internal/cpu"
+	"minnow/internal/galois"
+	"minnow/internal/graph"
+	"minnow/internal/kernels"
+	"minnow/internal/mem"
+	"minnow/internal/sim"
+	"minnow/internal/stats"
+	"minnow/internal/worklist"
+)
+
+// RateResult is the outcome of a RunRate throughput configuration.
+type RateResult struct {
+	// Runs holds per-copy statistics in copy order; copies are identical
+	// configurations, so their summaries agree bit-for-bit.
+	Runs []*stats.Run
+	// SimSteps is the total actor steps across the shared engine.
+	SimSteps int64
+	// BoundSteps is how many of those steps ran in bound phases — zero
+	// when IntraJobs is 0, and nearly all of them when it is not, since
+	// every rate copy is bound-eligible.
+	BoundSteps int64
+	// WallCycles is the latest copy's finishing frontier.
+	WallCycles int64
+}
+
+// RunRate executes `copies` fully isolated single-thread instances of
+// the benchmark inside one simulation — a SPECrate-style throughput
+// configuration. Each copy owns its address space, graph, memory
+// system, worklist, and runner, so its worker is a genuine
+// sim.BoundedActor with an unbounded horizon (galois.Worker.Isolated):
+// under Options.IntraJobs >= 1 the bound phase steps all copies
+// concurrently and the run's output stays byte-identical to the serial
+// schedule. This is the configuration where the parallel kernel's
+// speedup is unconstrained by weave serialization; cmd/bench reports it.
+//
+// Rate runs are bare timing runs: the scheduler must be a software
+// worklist (a Minnow engine actor wakes itself through the scheduler
+// from the worker's step, which the bound phase forbids), and fault
+// injection, invariants, and the observability attachments are
+// rejected rather than silently dropped.
+func RunRate(spec kernels.Spec, o Options, copies int) (*RateResult, error) {
+	o = o.withDefaults()
+	o.Threads = 1
+	o.Sockets = 1
+	if copies < 1 {
+		copies = 1
+	}
+	if o.Scheduler == "minnow" {
+		return nil, fmt.Errorf("harness: rate mode requires a software scheduler, not %q", o.Scheduler)
+	}
+	if o.Faults != nil || o.Invariants || o.Timeline || o.Profile || o.MetricsEvery > 0 || o.TraceEvents > 0 {
+		return nil, fmt.Errorf("harness: rate mode is a bare timing configuration; disable faults/invariants/observability attachments")
+	}
+
+	eng := sim.NewEngine()
+	type copyState struct {
+		kern   kernels.Kernel
+		runner *galois.Runner
+		o      Options
+		msys   *mem.System
+		cores  []*cpu.Core
+	}
+	states := make([]*copyState, copies)
+	for i := 0; i < copies; i++ {
+		as := graph.NewAddrSpace()
+		kern := spec.Build(o.Scale, o.Seed, as, 1)
+		oc := o
+		if !oc.LgIntervalSet {
+			oc.LgInterval = kern.DefaultLgInterval()
+		}
+		msys := buildMem(oc)
+		cores := buildCores(oc, msys)
+		var sched galois.Scheduler
+		switch oc.Scheduler {
+		case "obim":
+			sched = &galois.SWScheduler{WL: worklist.NewOBIM(as, 1, 1, oc.LgInterval)}
+		case "fifo":
+			sched = &galois.SWScheduler{WL: worklist.NewFIFO(as, 1)}
+		case "lifo":
+			sched = &galois.SWScheduler{WL: worklist.NewLIFO(as, 1)}
+		case "strictpq":
+			sched = &galois.SWScheduler{WL: worklist.NewStrictPQ(as)}
+		default:
+			return nil, fmt.Errorf("harness: unknown scheduler %q", oc.Scheduler)
+		}
+		attachHWPrefetchers(oc, cores, msys, kern.Graph())
+		cfg := galois.Config{
+			Threads:        1,
+			SplitThreshold: oc.SplitThreshold,
+			WorkBudget:     oc.WorkBudget,
+			Serial:         oc.Serial,
+		}
+		runner := galois.NewRunner(cfg, cores, sched, kern, kern.Graph().Degree)
+		w := runner.Workers()[0]
+		w.Isolated = true
+		id := eng.Register(w)
+		eng.Wake(id, 0)
+		runner.Seed(kern.InitialTasks())
+		states[i] = &copyState{kern: kern, runner: runner, o: oc, msys: msys, cores: cores}
+	}
+
+	drained := runEngine(eng, o)
+	res := &RateResult{SimSteps: eng.Steps(), BoundSteps: eng.BoundSteps()}
+	for i, sc := range states {
+		if !drained && !sc.runner.TimedOut() {
+			return nil, fmt.Errorf("harness: rate %s/%s exceeded %d simulation steps (livelock?)",
+				spec.Name, o.Scheduler, o.MaxSteps)
+		}
+		run := collect(spec.Name, sc.o, sc.cores, nil, sc.msys, sc.runner)
+		if !o.SkipVerify && !run.TimedOut {
+			if err := sc.kern.Verify(); err != nil {
+				return nil, fmt.Errorf("harness: rate copy %d %s/%s verification failed: %w",
+					i, spec.Name, o.Scheduler, err)
+			}
+		}
+		res.Runs = append(res.Runs, run)
+		if run.WallCycles > res.WallCycles {
+			res.WallCycles = run.WallCycles
+		}
+	}
+	return res, nil
+}
+
+// SplitBudget divides the host-thread budget between run-level
+// parallelism (-jobs: independent runs in flight) and intra-run
+// parallelism (-intra-jobs: bound-phase workers inside each
+// simulation). A non-positive jobs is resolved to NumCPU divided by the
+// effective intra width so jobs x intra-jobs roughly fills the machine;
+// intraJobs passes through unchanged (0 keeps the serial engine).
+func SplitBudget(jobs, intraJobs int) (int, int) {
+	div := intraJobs
+	if div < 1 {
+		div = 1
+	}
+	if jobs <= 0 {
+		jobs = runtime.NumCPU() / div
+		if jobs < 1 {
+			jobs = 1
+		}
+	}
+	return jobs, intraJobs
+}

@@ -1,0 +1,93 @@
+package inspect
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches one inspector path and returns the body.
+func get(t *testing.T, base, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get("http://" + base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return string(body), resp
+}
+
+// TestMetricsLifecycle pins the /metrics contract: before the first
+// OnSample the endpoint serves the explicit no-sample comment (still
+// valid Prometheus exposition), and after a sample it serves exactly the
+// snapshot the harness handed over.
+func TestMetricsLifecycle(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body, resp := get(t, srv.Addr(), "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	if !strings.Contains(body, "# no sample yet") {
+		t.Errorf("before first sample, /metrics = %q, want the no-sample comment", body)
+	}
+
+	const snapshot = "minnow_wall_cycles 4096\nminnow_tasks_total 17\n"
+	srv.OnSample(4096, snapshot)
+	body, _ = get(t, srv.Addr(), "/metrics")
+	if body != snapshot {
+		t.Errorf("after OnSample, /metrics = %q, want the exact snapshot %q", body, snapshot)
+	}
+
+	// A later sample replaces the earlier one wholesale.
+	srv.OnSample(8192, "minnow_wall_cycles 8192\n")
+	body, _ = get(t, srv.Addr(), "/metrics")
+	if body != "minnow_wall_cycles 8192\n" {
+		t.Errorf("second sample not republished: got %q", body)
+	}
+}
+
+// TestIndexReportsCycles checks the landing page carries the latest
+// sampled cycle stamp and names the endpoints.
+func TestIndexReportsCycles(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.OnSample(12345, "x 1\n")
+	body, _ := get(t, srv.Addr(), "/")
+	for _, want := range []string{"simulated cycles: 12345", "/metrics", "/debug/pprof/"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestCloseReleasesAddr verifies Close actually tears the listener down
+// so a run's deferred cleanup cannot leak the port.
+func TestCloseReleasesAddr(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("GET after Close succeeded; listener still up")
+	}
+}

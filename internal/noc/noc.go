@@ -11,6 +11,12 @@
 // reservations depend only on the timestamped traversal sequence, so
 // identical traffic always produces identical stall cycles. The Flits and
 // StallCyc counters are read-only inputs to the observability probes.
+//
+// Bound/weave placement: per-link busy-until reservations are shared
+// mutable state between every actor whose traffic crosses the mesh, so
+// the mesh may only be driven from sim.Engine.RunParallel's weave phase;
+// an actor that can reach it inside an epoch must not declare a horizon
+// past its next step.
 package noc
 
 import "minnow/internal/sim"

@@ -1,0 +1,24 @@
+package sim
+
+import "testing"
+
+// FuzzEngineEquiv drives randomized synthetic universes — bound locals,
+// partially-bounded phased actors, fully interactive socials with
+// wake-during-step, self-wake, done-then-rearm, plus probe and watchdog
+// interleavings — through Run and RunParallel at several worker counts
+// and windows, asserting identical step traces, shared-interaction logs,
+// probe sequences, frontiers, and step counts. The seed corpus lives in
+// testdata/fuzz/FuzzEngineEquiv and replays as regular test cases.
+func FuzzEngineEquiv(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 3, 8, 5, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{4, 3, 2, 16, 10, 200, 150, 100, 50, 25, 12, 6, 3, 1, 255, 128})
+	f.Add([]byte{2, 0, 4, 0, 0, 9, 9, 9, 9, 1, 1, 1, 1, 17, 34, 51})
+	f.Add([]byte{1, 3, 1, 63, 49, 5, 10, 15, 20, 25, 30, 35, 40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("oversized input")
+		}
+		checkScenario(t, data)
+	})
+}

@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The differential layer: a synthetic universe decoded from a byte
+// string, run through Run and RunParallel, with every observable output
+// compared. Three actor species cover the interaction spectrum:
+//
+//   - localActor: BoundedActor with HorizonNever — its whole lifetime is
+//     private, so it is bound-stepped through every epoch.
+//   - phasedActor: BoundedActor with a moving finite horizon — private
+//     stretches punctuated by interactive steps that touch the shared
+//     log and wake social actors (the partial-bounding case).
+//   - socialActor: plain Actor — every step is interactive: shared-log
+//     appends, peer wakes, self-wakes, done-then-rearm.
+
+// script is a wrapping byte reader; an empty script yields zeros.
+type script struct {
+	b []byte
+	i int
+}
+
+func (s *script) next() byte {
+	if len(s.b) == 0 {
+		return 0
+	}
+	v := s.b[s.i%len(s.b)]
+	s.i++
+	return v
+}
+
+// world is the shared state of one scenario instance plus its recorders.
+type world struct {
+	log     []int64 // interaction log: actorID<<32 | time, in serial order
+	probes  []int64 // probe trace: boundary, log length, step count triples
+	wdPolls int
+	actors  []interface{ trace() []Time }
+}
+
+type traceRec struct{ times []Time }
+
+func (t *traceRec) trace() []Time { return t.times }
+
+type localActor struct {
+	traceRec
+	at    Time
+	s     script
+	limit int
+}
+
+func (a *localActor) Step() (Time, bool) {
+	a.times = append(a.times, a.at)
+	if len(a.times) >= a.limit {
+		return a.at, true
+	}
+	a.at += Time(a.s.next() % 7) // 0 advances exercise same-time re-steps
+	return a.at, false
+}
+
+func (a *localActor) Horizon() Time { return HorizonNever }
+
+type phasedActor struct {
+	traceRec
+	w       *world
+	eng     *Engine
+	id      int
+	at      Time
+	horizon Time
+	s       script
+	limit   int
+	targets []int // social actor IDs
+}
+
+func (a *phasedActor) Step() (Time, bool) {
+	a.times = append(a.times, a.at)
+	if len(a.times) >= a.limit {
+		return a.at, true
+	}
+	if a.at >= a.horizon {
+		// Interactive step: shared-log append, maybe a wake, then open the
+		// next private stretch.
+		a.w.log = append(a.w.log, int64(a.id)<<32|int64(a.at))
+		if b := a.s.next(); len(a.targets) > 0 && b&1 == 1 {
+			tgt := a.targets[int(b>>1)%len(a.targets)]
+			a.eng.Wake(tgt, a.at+Time(b%13))
+		}
+		a.horizon = a.at + 1 + Time(a.s.next()%23)
+	}
+	a.at += Time(a.s.next() % 9)
+	return a.at, false
+}
+
+func (a *phasedActor) Horizon() Time { return a.horizon }
+
+type socialActor struct {
+	traceRec
+	w     *world
+	eng   *Engine
+	id    int
+	at    Time
+	s     script
+	limit int
+	peers []int
+}
+
+func (a *socialActor) Step() (Time, bool) {
+	a.times = append(a.times, a.at)
+	a.w.log = append(a.w.log, int64(a.id)<<32|int64(a.at))
+	if len(a.times) >= a.limit {
+		return a.at, true // re-arm wakes still log, then retire again
+	}
+	switch b := a.s.next(); b % 4 {
+	case 1:
+		tgt := a.peers[int(a.s.next())%len(a.peers)]
+		a.eng.Wake(tgt, a.at+Time(a.s.next()%17))
+	case 2:
+		a.eng.Wake(a.id, a.at) // self-wake: a no-op on ordering
+	}
+	a.at += Time(a.s.next() % 9)
+	return a.at, false
+}
+
+// buildWorld decodes one scenario instance. Identical bytes build
+// identical universes, so each engine mode gets a fresh copy.
+func buildWorld(data []byte) (*Engine, *world) {
+	s := &script{b: data}
+	w := &world{}
+	e := NewEngine()
+	nLocal := int(s.next() % 5)
+	nPhased := int(s.next() % 4)
+	nSocial := 1 + int(s.next()%4)
+	probeEvery := Time(s.next()%64) * 4
+	wdEvery := int64(s.next() % 50)
+
+	sub := func(k int) script { return script{b: data, i: 11 * (k + 1)} }
+	limit := func() int { return 3 + int(s.next()%40) }
+
+	var socials []int
+	k := 0
+	for i := 0; i < nSocial; i++ {
+		a := &socialActor{w: w, eng: e, at: Time(s.next() % 16), s: sub(k), limit: limit()}
+		k++
+		a.id = e.Register(a)
+		socials = append(socials, a.id)
+		w.actors = append(w.actors, a)
+	}
+	for _, id := range socials {
+		any(w.actors[id]).(*socialActor).peers = socials
+	}
+	for i := 0; i < nPhased; i++ {
+		a := &phasedActor{w: w, eng: e, at: Time(s.next() % 16), s: sub(k), limit: limit(), targets: socials}
+		k++
+		a.horizon = a.at + 1 + Time(s.next()%23)
+		a.id = e.Register(a)
+		w.actors = append(w.actors, a)
+	}
+	for i := 0; i < nLocal; i++ {
+		a := &localActor{at: Time(s.next() % 16), s: sub(k), limit: limit()}
+		k++
+		e.Register(a)
+		w.actors = append(w.actors, a)
+	}
+	for id := range w.actors {
+		e.Wake(id, Time(s.next()%16))
+	}
+	if probeEvery > 0 {
+		e.SetProbe(probeEvery, func(at Time) {
+			w.probes = append(w.probes, int64(at), int64(len(w.log)), e.Steps())
+		})
+	}
+	if wdEvery > 0 {
+		e.SetWatchdog(wdEvery, func() bool { w.wdPolls++; return false })
+	}
+	return e, w
+}
+
+// allWeave reports whether a scenario contains no bound-eligible actors,
+// in which case even the watchdog poll count is serial-exact.
+func allWeave(data []byte) bool {
+	s := &script{b: data}
+	return s.next()%5 == 0 && s.next()%4 == 0
+}
+
+// outcome is everything the determinism contract covers.
+type outcome struct {
+	traces  [][]Time
+	log     []int64
+	probes  []int64
+	now     Time
+	steps   int64
+	drained bool
+	wdPolls int
+	bound   int64
+}
+
+func runScenario(data []byte, parallel bool, window Time, workers int) outcome {
+	e, w := buildWorld(data)
+	var now Time
+	var drained bool
+	if parallel {
+		now, drained = e.RunParallel(0, window, workers)
+	} else {
+		now, drained = e.Run(0)
+	}
+	o := outcome{log: w.log, probes: w.probes, now: now, drained: drained,
+		steps: e.Steps(), wdPolls: w.wdPolls, bound: e.BoundSteps()}
+	for _, a := range w.actors {
+		o.traces = append(o.traces, a.trace())
+	}
+	return o
+}
+
+// assertEquiv compares two outcomes; wdPolls only when the scenario is
+// all-weave (bound phases commit step counts in batches, shifting poll
+// points — the one documented divergence).
+func assertEquiv(t *testing.T, want, got outcome, exactWd bool, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.traces, got.traces) {
+		t.Fatalf("%s: step traces diverge\nserial: %v\npar:    %v", label, want.traces, got.traces)
+	}
+	if !reflect.DeepEqual(want.log, got.log) {
+		t.Fatalf("%s: shared interaction log diverges\nserial: %v\npar:    %v", label, want.log, got.log)
+	}
+	if !reflect.DeepEqual(want.probes, got.probes) {
+		t.Fatalf("%s: probe trace diverges\nserial: %v\npar:    %v", label, want.probes, got.probes)
+	}
+	if want.now != got.now || want.steps != got.steps || want.drained != got.drained {
+		t.Fatalf("%s: now/steps/drained diverge: serial (%d,%d,%v) vs parallel (%d,%d,%v)",
+			label, want.now, want.steps, want.drained, got.now, got.steps, got.drained)
+	}
+	if exactWd && want.wdPolls != got.wdPolls {
+		t.Fatalf("%s: watchdog polls diverge on all-weave scenario: %d vs %d", label, want.wdPolls, got.wdPolls)
+	}
+}
+
+// parCfgs spans worker counts (including the no-concurrency 1) and
+// windows from degenerate (1 cycle) to the default.
+var parCfgs = []struct {
+	workers int
+	window  Time
+}{
+	{1, 16}, {2, 64}, {3, 1}, {4, 256}, {8, DefaultEpochWindow},
+}
+
+func checkScenario(t *testing.T, data []byte) {
+	t.Helper()
+	serial := runScenario(data, false, 0, 0)
+	exactWd := allWeave(data)
+	for _, pc := range parCfgs {
+		par := runScenario(data, true, pc.window, pc.workers)
+		assertEquiv(t, serial, par, exactWd,
+			fmt.Sprintf("workers=%d window=%d", pc.workers, pc.window))
+	}
+}
+
+func TestParallelMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 80; i++ {
+		data := make([]byte, 8+rng.Intn(56))
+		rng.Read(data)
+		t.Run(fmt.Sprintf("case%03d", i), func(t *testing.T) { checkScenario(t, data) })
+	}
+}
+
+func TestParallelAllWeaveExact(t *testing.T) {
+	// First two bytes zero force nLocal = nPhased = 0: nothing is
+	// bound-eligible, so parallel mode must match serially bit-for-bit
+	// including watchdog poll counts.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		data := make([]byte, 8+rng.Intn(40))
+		rng.Read(data)
+		data[0], data[1] = 0, 0
+		if !allWeave(data) {
+			t.Fatal("scenario construction drifted: expected all-weave")
+		}
+		t.Run(fmt.Sprintf("case%03d", i), func(t *testing.T) { checkScenario(t, data) })
+	}
+}
+
+func TestParallelBoundPhaseRuns(t *testing.T) {
+	// Four locals with long lifetimes and a wide window: the bound phase
+	// must actually execute steps (the mode is not vacuously serial), and
+	// the outcome still matches.
+	data := []byte{4, 0, 1, 0, 0, 200, 200, 200, 200, 200, 9, 9, 9, 9}
+	serial := runScenario(data, false, 0, 0)
+	par := runScenario(data, true, DefaultEpochWindow, 4)
+	assertEquiv(t, serial, par, false, "bound-progress")
+	if par.bound == 0 {
+		t.Fatal("expected bound-phase steps > 0 for a local-heavy scenario")
+	}
+	if serial.bound != 0 {
+		t.Fatal("serial run must not report bound steps")
+	}
+}
+
+func TestParallelWorkerAndWindowInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		data := make([]byte, 12+rng.Intn(40))
+		rng.Read(data)
+		base := runScenario(data, true, 128, 1)
+		for _, pc := range parCfgs {
+			got := runScenario(data, true, pc.window, pc.workers)
+			assertEquiv(t, base, got, false, fmt.Sprintf("case%d workers=%d window=%d", i, pc.workers, pc.window))
+		}
+	}
+}
+
+func TestParallelMaxStepsDeterministic(t *testing.T) {
+	// A step-bound stop may overshoot maxSteps by one epoch's bound work,
+	// but must do so identically for every worker count.
+	data := []byte{4, 2, 2, 0, 0, 77, 33, 11, 99, 55, 200, 150, 100, 50}
+	run := func(workers int) (Time, int64, bool) {
+		e, _ := buildWorld(data)
+		now, drained := e.RunParallel(40, 64, workers)
+		return now, e.Steps(), drained
+	}
+	n1, s1, d1 := run(1)
+	if d1 {
+		t.Skip("scenario drained before the step bound; pick a longer one")
+	}
+	for _, w := range []int{2, 4, 8} {
+		nw, sw, dw := run(w)
+		if nw != n1 || sw != s1 || dw != d1 {
+			t.Fatalf("step-bound stop not worker-invariant: workers=1 (%d,%d,%v) vs workers=%d (%d,%d,%v)",
+				n1, s1, d1, w, nw, sw, dw)
+		}
+	}
+}
+
+// sparseActor steps at fixed 50-cycle strides claiming a private
+// lifetime; used to provoke horizon-contract violations.
+type sparseActor struct{ at Time }
+
+func (a *sparseActor) Step() (Time, bool) {
+	a.at += 50
+	return a.at, a.at > 500
+}
+
+func (a *sparseActor) Horizon() Time { return HorizonNever }
+
+// wakerActor wakes a fixed target at a fixed time from its single step.
+type wakerActor struct {
+	eng    *Engine
+	target int
+	at     Time
+	wakeAt Time
+}
+
+func (a *wakerActor) Step() (Time, bool) {
+	a.eng.Wake(a.target, a.wakeAt)
+	return a.at, true
+}
+
+func TestParallelWakeViolationPanics(t *testing.T) {
+	// The sparse bound actor executes steps at 0, 50, 100, ... inside the
+	// epoch; a weave actor at time 10 waking it to 20 would reschedule the
+	// already-executed step at 50 — the engine must refuse loudly.
+	e := NewEngine()
+	sparse := &sparseActor{}
+	sid := e.Register(sparse)
+	wk := &wakerActor{eng: e, at: 10, wakeAt: 20, target: sid}
+	wid := e.Register(wk)
+	e.Wake(sid, 0)
+	e.Wake(wid, 10)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a horizon-contract violation panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "horizon contract violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.RunParallel(0, DefaultEpochWindow, 2)
+}
+
+func TestParallelWakeAbsorption(t *testing.T) {
+	// Same shape, but the wake targets a time at/after the next executed
+	// bound step: the serial engine would min-reschedule a pending step to
+	// itself, so the parallel engine absorbs it and the runs agree.
+	build := func() (*Engine, *sparseActor) {
+		e := NewEngine()
+		sparse := &sparseActor{}
+		sid := e.Register(sparse)
+		wid := e.Register(&wakerActor{eng: e, at: 10, wakeAt: 60, target: sid})
+		e.Wake(sid, 0)
+		e.Wake(wid, 10)
+		return e, sparse
+	}
+	es, ss := build()
+	nowS, _ := es.Run(0)
+	ep, sp := build()
+	nowP, _ := ep.RunParallel(0, DefaultEpochWindow, 2)
+	if nowS != nowP || es.Steps() != ep.Steps() || ss.at != sp.at {
+		t.Fatalf("absorbed wake diverged: serial (%d,%d,%d) vs parallel (%d,%d,%d)",
+			nowS, es.Steps(), ss.at, nowP, ep.Steps(), sp.at)
+	}
+}
+
+// rogueActor claims a private lifetime but calls Wake from its step.
+type rogueActor struct {
+	eng *Engine
+	at  Time
+}
+
+func (a *rogueActor) Step() (Time, bool) {
+	a.eng.Wake(0, a.at+100)
+	a.at += 10
+	return a.at, false
+}
+
+func (a *rogueActor) Horizon() Time { return HorizonNever }
+
+func TestParallelWakeDuringBoundPanics(t *testing.T) {
+	e := NewEngine()
+	r := &rogueActor{eng: e}
+	id := e.Register(r)
+	e.Wake(id, 0)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected a bound-phase Wake panic")
+		}
+		if !strings.Contains(fmt.Sprint(rec), "bound phase") {
+			t.Fatalf("unexpected panic: %v", rec)
+		}
+	}()
+	e.RunParallel(0, DefaultEpochWindow, 2)
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	e := NewEngine()
+	now, drained := e.RunParallel(0, 0, 0) // degenerate args select defaults
+	if now != 0 || !drained {
+		t.Fatalf("empty engine: got (%d, %v), want (0, true)", now, drained)
+	}
+}

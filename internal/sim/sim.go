@@ -39,6 +39,20 @@
 // drain or a step-bound stop — and Queued exposes a deterministic dump of
 // the pending schedule for the diagnostic snapshot. A disabled watchdog
 // costs one nil check per step.
+//
+// Concurrent stepping: RunParallel executes the same schedule as Run in
+// fixed-size epochs, stepping actors that prove (via the optional
+// BoundedActor interface) that they cannot interact inside the epoch on a
+// host worker pool, and weaving everything else serially in (time, ID)
+// order. The determinism contract extends unchanged to this mode: for
+// runs that drain (neither halted by the watchdog nor stopped by the step
+// bound), the frontier, step count, per-actor step sequence, and probe
+// callback sequence are bit-identical to Run for every worker count,
+// including 1. Actors that do not implement BoundedActor — or that return
+// a horizon at or before their next step — always weave, so the mode is
+// adoptable one actor type at a time and degrades to exactly the serial
+// behavior when no actor is bound-eligible. See parallel.go for the epoch
+// algorithm and the horizon contract.
 package sim
 
 import (
@@ -69,7 +83,19 @@ type entry struct {
 	at    Time
 	id    int
 	actor Actor
-	index int // heap index, -1 when not queued
+	ba    BoundedActor // non-nil when the actor declares horizons
+	index int          // heap index, -1 when not queued
+
+	// Bound-phase bookkeeping, valid only while epoch == Engine.epoch.
+	// stepTimes records the local times of the steps this actor executed
+	// ahead of the weave during the current epoch's bound phase; Wake uses
+	// it to reconcile weave-phase wakes against already-executed history.
+	epoch      int64
+	safeUntil  Time
+	stepTimes  []Time
+	boundSteps int64
+	boundDone  bool
+	panicked   any
 }
 
 type actorHeap []*entry
@@ -116,11 +142,19 @@ type Engine struct {
 	wdNext  int64       // step count at which the watchdog next fires
 	wdFn    func() bool // reports true to halt the run; nil when disabled
 	halted  bool        // last Run was stopped by the watchdog
+
+	// Parallel (bound/weave) execution state; see parallel.go. epoch is 0
+	// while no RunParallel epoch has ever started, so the per-Wake stamp
+	// check below short-circuits to a single comparison in serial runs.
+	epoch      int64 // current epoch stamp; entries carry the stamp they were bound under
+	inBound    bool  // a bound phase is executing; Engine methods are off-limits
+	steppingID int   // ID of the weave actor currently stepping (-1 outside a weave step)
+	boundTotal int64 // steps executed in bound phases (subset of steps)
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{probeAt: timeMax}
+	return &Engine{probeAt: timeMax, steppingID: -1}
 }
 
 // SetProbe installs fn to be called with each crossed boundary time
@@ -200,19 +234,32 @@ func (e *Engine) Queued() []QueuedActor {
 }
 
 // Register adds an actor and returns its ID. The actor is initially
-// dormant; call Wake to schedule its first step.
+// dormant; call Wake to schedule its first step. If the actor also
+// implements BoundedActor its horizon is consulted by RunParallel; plain
+// actors always weave.
 func (e *Engine) Register(a Actor) int {
 	id := len(e.entries)
-	e.entries = append(e.entries, &entry{id: id, actor: a, index: -1})
+	ent := &entry{id: id, actor: a, index: -1}
+	ent.ba, _ = a.(BoundedActor)
+	e.entries = append(e.entries, ent)
 	return id
 }
 
 // Wake (re-)schedules actor id to step at time at. If the actor is already
-// queued, it is rescheduled to min(current, at).
+// queued, it is rescheduled to min(current, at). Wake must not be called
+// from a bound-phase step (see BoundedActor); during a RunParallel weave
+// it additionally reconciles the wake against bound-phase history so the
+// outcome is exactly what the serial engine would have done.
 func (e *Engine) Wake(id int, at Time) {
+	if e.inBound {
+		panic("sim: Wake called during a bound phase — a BoundedActor interacted with the engine before its declared horizon")
+	}
 	ent := e.entries[id]
 	if at < e.now {
 		at = e.now
+	}
+	if ent.epoch != 0 && ent.epoch == e.epoch && !e.resolveBoundWake(ent, at) {
+		return // absorbed: the serial schedule would have no-op'd this wake
 	}
 	if ent.index >= 0 {
 		if at < ent.at {

@@ -14,6 +14,12 @@
 // caller's thread ID (the min-time actor ordering serializes concurrent
 // access), so worklist contents — including the Len the observability
 // occupancy gauge reads — are reproducible at every simulated instant.
+//
+// Bound/weave placement: a worklist's pop order is exactly the state the
+// (time, ID) actor ordering exists to serialize, so shared worklists are
+// weave-only under sim.Engine.RunParallel. A worker whose very first
+// step action is a pop therefore has interaction horizon 0 unless its
+// worklist (and everything behind it) is a private copy.
 package worklist
 
 import (

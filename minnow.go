@@ -120,6 +120,18 @@ type Config struct {
 	// MaxCycles halts runs whose simulated clock passes this bound with a
 	// diagnostic snapshot instead of hanging (0 = a large default).
 	MaxCycles int64
+
+	// IntraJobs selects the simulation kernel's execution mode: 0 (the
+	// default) is the classic serial engine; n >= 1 runs the epoch-based
+	// bound/weave engine with n host workers stepping provably
+	// independent actors concurrently inside each epoch. Results are
+	// byte-identical for every value — the differential equivalence suite
+	// pins the contract — so this is purely a host-time knob.
+	IntraJobs int
+	// EpochWindow sets the bound/weave epoch length in cycles when
+	// IntraJobs >= 1 (0 selects the default). Like IntraJobs it never
+	// changes simulation output.
+	EpochWindow int64
 }
 
 // Validate rejects nonsensical configurations with a descriptive error
@@ -159,6 +171,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("minnow: Minnow conflicts with Scheduler %q — the engine owns the worklist", c.Scheduler)
 	case c.OnSample != nil && c.MetricsEvery <= 0:
 		return fmt.Errorf("minnow: OnSample fires at metrics-sample boundaries and requires MetricsEvery > 0")
+	case c.IntraJobs < 0:
+		return fmt.Errorf("minnow: IntraJobs %d is negative (0 selects the serial engine, n >= 1 the bound/weave engine with n workers)", c.IntraJobs)
+	case c.EpochWindow < 0:
+		return fmt.Errorf("minnow: EpochWindow %d is negative (0 selects the default window)", c.EpochWindow)
+	case c.EpochWindow > 0 && c.IntraJobs <= 0:
+		return fmt.Errorf("minnow: EpochWindow tunes the bound/weave engine and requires IntraJobs >= 1")
 	}
 	switch c.Scheduler {
 	case "", "obim", "fifo", "lifo", "strictpq", "minnow":
@@ -185,6 +203,11 @@ type Result struct {
 	WallCycles int64 // end-to-end simulated cycles
 	Tasks      int64 // operator applications (work-efficiency metric)
 	TimedOut   bool
+
+	// SummaryHash is the sha256 fingerprint of the run's deterministic
+	// summary (stats.RunSummary) — the value the determinism and
+	// serial/parallel equivalence checks compare. Always non-empty.
+	SummaryHash string
 
 	L2MPKI             float64    // demand L2 misses per kilo-instruction
 	PrefetchEfficiency float64    // used-before-eviction / prefetch fills
@@ -232,6 +255,16 @@ type FaultReport struct {
 	TasksRescued     int64 // tasks drained from dead engines into software
 }
 
+// SplitBudget divides the host-thread budget between run-level
+// parallelism (jobs: independent runs in flight) and intra-run
+// parallelism (intraJobs: bound/weave workers inside each simulation).
+// A non-positive jobs resolves to NumCPU divided by the effective intra
+// width so jobs x intraJobs roughly fills the machine; intraJobs passes
+// through unchanged (0 keeps the serial engine).
+func SplitBudget(jobs, intraJobs int) (int, int) {
+	return harness.SplitBudget(jobs, intraJobs)
+}
+
 // Benchmarks lists the available workloads: the paper's Table-2 suite
 // plus extensions (currently KCORE, the §8 future-work demonstration).
 func Benchmarks() []string {
@@ -269,6 +302,8 @@ func (c Config) toOptions() (harness.Options, error) {
 		OnSample:       c.OnSample,
 		Invariants:     c.Invariants,
 		MaxCycles:      c.MaxCycles,
+		IntraJobs:      c.IntraJobs,
+		EpochWindow:    c.EpochWindow,
 	}
 	if c.Minnow {
 		o.Scheduler = "minnow"
@@ -326,6 +361,7 @@ func resultFrom(benchmark string, r *stats.Run) *Result {
 		WallCycles:         r.WallCycles,
 		Tasks:              r.WorkItems,
 		TimedOut:           r.TimedOut,
+		SummaryHash:        r.Summary().Hash(),
 		L2MPKI:             r.L2MPKI(),
 		PrefetchEfficiency: r.L2.Efficiency(),
 		DelinquentDensity:  r.DelinquentDensity(),

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckDirPass runs the checker over the fully documented fixture;
+// any report is a false positive.
+func TestCheckDirPass(t *testing.T) {
+	problems, err := checkDir("testdata/pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("documented fixture reported %d problems:\n%s",
+			len(problems), strings.Join(problems, "\n"))
+	}
+}
+
+// TestCheckDirFail pins the failing fixture: exactly the five planted
+// undocumented identifiers are reported, one per kind, and nothing else
+// (documented fields, unexported names) leaks in.
+func TestCheckDirFail(t *testing.T) {
+	problems, err := checkDir("testdata/fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"function BadFunc is exported but undocumented",
+		"type BadType is exported but undocumented",
+		"value BadConst is exported but undocumented",
+		"value BadGrouped is exported but undocumented",
+		"field BadType.BadField is exported but undocumented",
+	}
+	if len(problems) != len(want) {
+		t.Errorf("got %d problems, want %d:\n%s", len(problems), len(want), strings.Join(problems, "\n"))
+	}
+	joined := strings.Join(problems, "\n")
+	for _, w := range want {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing expected report %q in:\n%s", w, joined)
+		}
+	}
+	for _, absent := range []string{"Good", "goodLower", "hidden"} {
+		for _, p := range problems {
+			if strings.Contains(p, absent) {
+				t.Errorf("false positive on %s: %s", absent, p)
+			}
+		}
+	}
+	// Reports carry file:line anchors so CI output is clickable.
+	if !strings.Contains(joined, "testdata/fail/fail.go:") {
+		t.Errorf("reports lack file:line positions:\n%s", joined)
+	}
+}
+
+// TestCheckDirMissing verifies a bad path is a hard error (exit 2 in
+// main), not an empty pass.
+func TestCheckDirMissing(t *testing.T) {
+	if _, err := checkDir("testdata/no-such-dir"); err == nil {
+		t.Error("checkDir on a missing directory returned nil error")
+	}
+}
+
+// TestAuditedPackagesDocumented runs the real gate from the test suite:
+// the audited packages must stay fully documented, so a regression fails
+// `go test ./...` even before the CI docs job runs.
+func TestAuditedPackagesDocumented(t *testing.T) {
+	for _, dir := range defaultDirs {
+		problems, err := checkDir("../../" + dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(problems) != 0 {
+			t.Errorf("%s: %d undocumented exported identifiers:\n%s",
+				dir, len(problems), strings.Join(problems, "\n"))
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package fail is a doccheck fixture exercising every reported
+// identifier kind: an undocumented function, type, value, and field.
+package fail
+
+const BadConst = 1
+
+type BadType struct {
+	// Good is documented and must not be reported.
+	Good int
+	BadField int
+}
+
+// Documented group comment: per-identifier contracts still require each
+// exported const to carry its own comment, so BadGrouped is reported.
+const (
+	BadGrouped = 2
+	goodLower  = 3
+)
+
+func BadFunc() {}

@@ -1,0 +1,24 @@
+// Package pass is a doccheck fixture where every exported identifier is
+// documented; checkDir must return zero problems.
+package pass
+
+// MaxWidgets bounds the widget pool.
+const MaxWidgets = 8
+
+// Registry holds widgets by name.
+type Registry struct {
+	// Widgets maps name to widget.
+	Widgets map[string]int
+	Count   int // Count is the live widget total.
+
+	hidden int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers one widget.
+func (r *Registry) Add(name string) { r.Count++ }
+
+// unexported needs no comment.
+func unexported() {}
