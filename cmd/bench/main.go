@@ -15,11 +15,20 @@
 // parallel engine is byte-identical by contract — so the speedup is a
 // pure host-scheduling win, visible on multi-core machines.
 //
+// A third section measures the single shared-machine run that
+// conservative-lookahead horizons (Options.SharedHorizons) exist for: a
+// 64-core SSSP instance on the Minnow hardware worklist, serial vs
+// bound/weave workers, reporting bound-phase coverage alongside the
+// speedup. The section doubles as a regression gate: bench exits
+// non-zero if the parallel run's coverage is 0% — the horizons stopped
+// exposing idle backoffs — or if the paired hashes diverge.
+//
 // Usage:
 //
 //	bench                      # SSSP/CC/TC × {obim, minnow+prefetch}
 //	bench -out bench.json -threads 4 -scale 1
 //	bench -rate-copies 16 -rate-workers 8
+//	bench -single-workers -1   # skip the shared-horizon single-run section
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"minnow/internal/harness"
 	"minnow/internal/kernels"
+	"minnow/internal/stats"
 )
 
 // entry is one benchmark configuration's measurement.
@@ -66,16 +76,38 @@ type rateEntry struct {
 	SummaryHash string  `json:"summary_hash"` // per-copy digest (copies agree)
 }
 
+// singleEntry is one serial-vs-parallel measurement of a single
+// shared-machine run (no isolated copies) under conservative-lookahead
+// horizons. Unlike the rate section, the workers of this run contend on
+// one worklist fabric; the bound phase consists of the idle backoffs the
+// horizons expose, so BoundCoverage reports how much of the schedule
+// parallelized. The serial row has IntraJobs 0 and Speedup 1.
+type singleEntry struct {
+	Bench         string  `json:"bench"`
+	Scheduler     string  `json:"scheduler"`
+	Threads       int     `json:"threads"`
+	IntraJobs     int     `json:"intra_jobs"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SimCycles     int64   `json:"sim_cycles"`
+	SimSteps      int64   `json:"sim_steps"`
+	BoundSteps    int64   `json:"bound_steps"`
+	BoundCoverage float64 `json:"bound_coverage"` // bound_steps / sim_steps
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	Speedup       float64 `json:"speedup"`      // serial wall / this wall
+	SummaryHash   string  `json:"summary_hash"` // must equal the serial row's
+}
+
 // report is the BENCH_minnow.json schema.
 type report struct {
-	Schema       string      `json:"schema"`
-	GoVersion    string      `json:"go_version"`
-	NumCPU       int         `json:"num_cpu"`
-	Threads      int         `json:"threads"`
-	Scale        int         `json:"scale"`
-	Entries      []entry     `json:"entries"`
-	Rate         []rateEntry `json:"rate,omitempty"`
-	TotalSeconds float64     `json:"total_seconds"`
+	Schema       string        `json:"schema"`
+	GoVersion    string        `json:"go_version"`
+	NumCPU       int           `json:"num_cpu"`
+	Threads      int           `json:"threads"`
+	Scale        int           `json:"scale"`
+	Entries      []entry       `json:"entries"`
+	Rate         []rateEntry   `json:"rate,omitempty"`
+	Single       []singleEntry `json:"single,omitempty"`
+	TotalSeconds float64       `json:"total_seconds"`
 }
 
 func main() {
@@ -86,6 +118,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "graph generator seed")
 		copies  = flag.Int("rate-copies", 8, "isolated copies in the serial-vs-parallel rate section (0 = skip)")
 		workers = flag.Int("rate-workers", 0, "bound/weave workers for the parallel rate run (0 = all CPUs, capped at copies)")
+		single  = flag.Int("single-workers", 0, "bound/weave workers for the shared-horizon single-run section (0 = all CPUs, -1 = skip)")
 	)
 	flag.Parse()
 
@@ -99,7 +132,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "minnow-bench-v2",
+		Schema:    "minnow-bench-v3",
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Threads:   *threads,
@@ -149,6 +182,11 @@ func main() {
 	}
 	if *copies > 0 {
 		if err := benchRate(&rep, *copies, *workers, *scale, *seed); err != nil {
+			fail(err)
+		}
+	}
+	if *single >= 0 {
+		if err := benchSingle(&rep, *single, *scale, *seed); err != nil {
 			fail(err)
 		}
 	}
@@ -236,6 +274,89 @@ func benchRate(rep *report, copies, workers, scale int, seed uint64) error {
 	if runtime.NumCPU() == 1 {
 		fmt.Println("rate  NOTE: single-CPU host; the parallel engine cannot beat serial wall time here")
 	}
+	return nil
+}
+
+// benchSingle times the shared-horizon configuration the lookahead
+// horizons exist for: one shared-machine 64-core SSSP run on the Minnow
+// hardware worklist — the scheduler whose pops can fail while tasks are
+// in flight between engines, so workers actually idle — serial and with
+// bound/weave workers, SharedHorizons on for both. It appends one row
+// per engine mode and enforces two gates: the paired summary hashes must
+// agree (byte-identity), and the parallel run's bound-phase coverage
+// must be above zero — a 0% cell means the horizons stopped exposing
+// idle backoffs and the single-run parallelization silently regressed
+// to fully serial.
+func benchSingle(rep *report, workers, scale int, seed uint64) error {
+	spec, err := kernels.SpecByName("SSSP")
+	if err != nil {
+		return err
+	}
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	const threads = 64
+	o := harness.Options{
+		Threads:        threads,
+		Scale:          scale,
+		Seed:           seed,
+		Scheduler:      "minnow",
+		Prefetch:       true,
+		SplitThreshold: 512,
+		SharedHorizons: true,
+	}
+	measure := func(intra int) (*stats.Run, float64, error) {
+		so := o
+		so.IntraJobs = intra
+		t0 := time.Now()
+		run, err := harness.Run(spec, so)
+		return run, time.Since(t0).Seconds(), err
+	}
+	serial, serialWall, err := measure(0)
+	if err != nil {
+		return err
+	}
+	row := func(run *stats.Run, intra int, wall float64) singleEntry {
+		e := singleEntry{
+			Bench:       "SSSP-single",
+			Scheduler:   o.Scheduler,
+			Threads:     threads,
+			IntraJobs:   intra,
+			WallSeconds: wall,
+			SimCycles:   run.WallCycles,
+			SimSteps:    run.SimSteps,
+			BoundSteps:  run.BoundSteps,
+			SummaryHash: run.Summary().Hash(),
+		}
+		if run.SimSteps > 0 {
+			e.BoundCoverage = float64(run.BoundSteps) / float64(run.SimSteps)
+		}
+		if wall > 0 {
+			e.StepsPerSec = float64(run.SimSteps) / wall
+			e.Speedup = serialWall / wall
+		}
+		return e
+	}
+	sRow := row(serial, 0, serialWall)
+	rep.Single = append(rep.Single, sRow)
+	fmt.Printf("single %-6s threads=%-3d serial      %8.2fs  %10.0f steps/s  %s\n",
+		o.Scheduler, threads, serialWall, sRow.StepsPerSec, sRow.SummaryHash[:16])
+
+	par, parWall, err := measure(workers)
+	if err != nil {
+		return err
+	}
+	pRow := row(par, workers, parWall)
+	if pRow.SummaryHash != sRow.SummaryHash {
+		return fmt.Errorf("bench: single-run hash diverged serial=%s parallel=%s", sRow.SummaryHash, pRow.SummaryHash)
+	}
+	if pRow.BoundSteps == 0 {
+		return fmt.Errorf("bench: single-run bound-phase coverage is 0%% on the %d-core SSSP cell — shared horizons exposed no private steps", threads)
+	}
+	rep.Single = append(rep.Single, pRow)
+	fmt.Printf("single %-6s threads=%-3d workers=%-3d %8.2fs  %10.0f steps/s  %s  speedup %.2fx (coverage %.2f%%)\n",
+		o.Scheduler, threads, workers, parWall, pRow.StepsPerSec, pRow.SummaryHash[:16],
+		pRow.Speedup, 100*pRow.BoundCoverage)
 	return nil
 }
 

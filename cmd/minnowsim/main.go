@@ -50,6 +50,7 @@ func main() {
 		httpAddr = flag.String("http", "", "serve the live run inspector on this address (host:port; needs -metrics-every)")
 		intra    = flag.Int("intra-jobs", 0, "bound/weave engine workers inside the simulation (0 = serial engine; output is byte-identical either way)")
 		window   = flag.Int64("epoch-window", 0, "bound/weave epoch length in cycles (0 = default; needs -intra-jobs)")
+		shareHz  = flag.Bool("shared-horizons", false, "conservative-lookahead horizons: idle backoffs become private steps the bound/weave engine can run concurrently (changes the step schedule; byte-identical across -intra-jobs values for a fixed setting)")
 	)
 	flag.Parse()
 
@@ -84,6 +85,7 @@ func main() {
 		MaxCycles:      *maxCyc,
 		IntraJobs:      *intra,
 		EpochWindow:    *window,
+		SharedHorizons: *shareHz,
 	}
 	if *serial {
 		cfg.Threads = 1

@@ -67,6 +67,7 @@ func main() {
 		profDir  = flag.String("profile-dir", "", "write per-run cycle profiles (pprof + folded stacks) into this directory")
 		intra    = flag.Int("intra-jobs", 0, "bound/weave engine workers inside each simulation (0 = serial engine; splits the host budget with -jobs, output byte-identical)")
 		window   = flag.Int64("epoch-window", 0, "bound/weave epoch length in cycles (0 = default; needs -intra-jobs)")
+		shareHz  = flag.Bool("shared-horizons", false, "conservative-lookahead horizons on every run: idle backoffs become bound-steppable private steps (changes the step schedule; byte-identical across -intra-jobs for a fixed setting)")
 	)
 	flag.Parse()
 
@@ -128,6 +129,7 @@ func main() {
 						Profile:        *profDir != "",
 						IntraJobs:      *intra,
 						EpochWindow:    *window,
+						SharedHorizons: *shareHz,
 					}
 					if sched == "minnow" {
 						cfg.Minnow = true

@@ -231,6 +231,26 @@ func (e *Engine) Config() Config { return e.cfg }
 // Credits returns the current credit count (tests).
 func (e *Engine) Credits() int { return e.credits }
 
+// MinLatency returns the engine's conservative timing floor: the local
+// queue access latency every engine-mediated worklist operation pays at
+// minimum. Threadlet execution, spill/fill traffic, and prefetch issue
+// all complete at or after their start plus this floor; it reads only
+// immutable configuration.
+func (e *Engine) MinLatency() sim.Time { return e.cfg.LocalQLatency }
+
+// CreditSlack returns how many prefetches the engine could issue right
+// now before the credit pool pauses it — the pool headroom. It reads
+// engine-local state only, but note the credits themselves are returned
+// by other actors' memory traffic (mem.System's credit events), so slack
+// observed during a weave step is stale by the next step; it is a
+// diagnostic and validation quantity, not a horizon.
+func (e *Engine) CreditSlack() int {
+	if e.credits < 0 {
+		return 0
+	}
+	return e.credits
+}
+
 // Clock returns the back-end's local time (diagnostics).
 func (e *Engine) Clock() sim.Time { return e.clock }
 
@@ -478,9 +498,12 @@ func (e *Engine) startPrefetch(fe *frontEnd, t worklist.Task, seq int64, at sim.
 // enqueue/dequeue moves tasks other cores observe, prefetches reserve
 // shared L3/NoC/DRAM resources and draw from the credit pool, and
 // completion calls the registered wake callback. There is no cycle count
-// below which an engine step is provably private, so it declares none
-// and the parallel engine serializes it in the weave.
-func (e *Engine) Horizon() sim.Time { return 0 }
+// below which an engine step is provably private, so it declares the
+// sentinel and the parallel engine serializes it in the weave. (The
+// engine does have a useful timing floor — see MinLatency — but a floor
+// on when an operation *completes* is not a window in which the engine
+// refrains from *touching* shared queues, so it cannot become a horizon.)
+func (e *Engine) Horizon() sim.Time { return sim.HorizonAlwaysWeave }
 
 // Step implements sim.Actor: execute one threadlet.
 func (e *Engine) Step() (sim.Time, bool) {

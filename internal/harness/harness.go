@@ -121,6 +121,16 @@ type Options struct {
 	// identical output; it only trades partition overhead against
 	// bound-phase batch size.
 	EpochWindow int64
+	// SharedHorizons turns on conservative-lookahead horizons for
+	// shared-machine workers (galois.Config.SharedHorizons): idle
+	// backoffs become private steps that RunParallel can bound-step
+	// concurrently, so a single big run parallelizes instead of only
+	// RunRate's isolated copies. It changes the step schedule (idle
+	// waits split in two), so summaries are comparable only among runs
+	// with the same setting; within a setting, output stays byte-identical
+	// across IntraJobs values — the shared-horizon equivalence suite
+	// pins it.
+	SharedHorizons bool
 }
 
 // withDefaults fills zero values.
@@ -287,6 +297,7 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 		SplitThreshold: o.SplitThreshold,
 		WorkBudget:     o.WorkBudget,
 		Serial:         o.Serial,
+		SharedHorizons: o.SharedHorizons,
 	}
 	runner := galois.NewRunner(cfg, cores, sched, kern, kern.Graph().Degree)
 
@@ -332,6 +343,7 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 		run.Faults = &fs
 	}
 	run.SimSteps = eng.Steps()
+	run.BoundSteps = eng.BoundSteps()
 	if len(engines) > 0 {
 		run.Trace = engines[0].Trace
 	}

@@ -132,8 +132,14 @@ func RunRate(spec kernels.Spec, o Options, copies int) (*RateResult, error) {
 // parallelism (-intra-jobs: bound-phase workers inside each
 // simulation). A non-positive jobs is resolved to NumCPU divided by the
 // effective intra width so jobs x intra-jobs roughly fills the machine;
-// intraJobs passes through unchanged (0 keeps the serial engine).
+// the resolved value is clamped to >= 1 even when intraJobs oversubscribes
+// the machine (intraJobs > NumCPU would otherwise divide the budget to
+// zero runs in flight). A negative intraJobs is normalized to 0 (the
+// serial engine); non-negative values pass through unchanged.
 func SplitBudget(jobs, intraJobs int) (int, int) {
+	if intraJobs < 0 {
+		intraJobs = 0
+	}
 	div := intraJobs
 	if div < 1 {
 		div = 1

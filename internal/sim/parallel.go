@@ -73,11 +73,23 @@ type BoundedActor interface {
 	// actor may interact with shared simulation state — touch a shared
 	// resource (L3 bank, NoC link, DRAM channel, worklist, credit pool),
 	// observe another actor's mutations, or call an Engine method. Steps
-	// strictly before the horizon must be actor-private. Horizon is
-	// consulted once per epoch, between steps, on the coordinating
-	// goroutine. Return a time at or before the actor's next step (0 is
-	// conventional) to always weave; return HorizonNever for an actor
-	// whose whole remaining lifetime is private.
+	// strictly before the horizon must be actor-private.
+	//
+	// Horizon is dynamic: it is consulted at each epoch's partition on
+	// the coordinating goroutine AND again after every bound-phase step,
+	// on a pool goroutine. It must therefore read only actor-private
+	// state (never the Engine, never shared resources) and be a pure
+	// function of that state. Between steps the horizon may shrink (an
+	// off-core event approaching) or grow (the event receded after the
+	// step); the bound phase tracks it step by step and hands the actor
+	// back to the weave the moment its next step is no longer provably
+	// private.
+	//
+	// Return HorizonAlwaysWeave for an actor that can interact on any
+	// step (the shared-resource default); return HorizonNever for an
+	// actor whose whole remaining lifetime is private. Any value at or
+	// before the actor's next step time opts it out of the bound phase
+	// for that epoch.
 	Horizon() Time
 }
 
@@ -85,6 +97,17 @@ type BoundedActor interface {
 // with shared simulation state: it is bound-stepped through every epoch
 // it is scheduled in.
 const HorizonNever = timeMax
+
+// HorizonAlwaysWeave is the Horizon value for an actor that may touch
+// shared simulation state on its very next step, opting it out of every
+// bound phase. It is deliberately negative: a computed horizon can be a
+// genuine 0 ("private strictly before cycle 0", i.e. nothing), and the
+// explicit sentinel keeps always-weave declarations distinguishable from
+// a lookahead computation that happened to bottom out. The partition
+// treats any horizon at or before the actor's next step time as weave,
+// so the two behave identically; the constant exists so intent is
+// auditable.
+const HorizonAlwaysWeave = Time(-1)
 
 // DefaultEpochWindow is the bound/weave epoch length, in cycles, used
 // when RunParallel is given a non-positive window.
@@ -122,28 +145,31 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 	pool := newBoundPool(workers)
 	defer pool.close()
 	var bound []*entry
+	// boundMax tracks the latest bound-phase step time of the whole run.
+	// It folds into the frontier only at return: mid-run, the frontier
+	// must keep tracking the weave position — bound steps past it are in
+	// the serial schedule's future, and folding them early would inflate
+	// the next<now clamp and skip probe replays the serial engine performs.
+	boundMax := Time(-1)
 	for len(e.heap) > 0 {
 		if maxSteps > 0 && e.steps >= maxSteps {
-			return e.now, false
+			return e.foldFrontier(boundMax), false
 		}
 		if e.wdFn != nil && e.steps >= e.wdNext {
 			e.wdNext = e.steps + e.wdEvery
 			if e.wdFn() {
 				e.halted = true
-				return e.now, false
+				return e.foldFrontier(boundMax), false
 			}
 		}
-		// Open the epoch: advance the frontier to the first pending step,
-		// firing any crossed probe boundaries exactly as Run's next step
-		// would, then clamp the window to the next boundary so no bound
-		// step can cross one.
+		// Open the epoch: advance the frontier to the first pending step
+		// via the shared advanceFrontier path, which replays every probe
+		// boundary the idle gap crossed — a sparse schedule jumping
+		// multiple boundaries at once fires one callback per boundary,
+		// exactly as Run's next step would. The window is then clamped to
+		// the next boundary so no bound step can cross one.
 		start := e.heap[0].at
-		if start > e.now {
-			e.now = start
-			if e.now >= e.probeAt {
-				e.fireProbe()
-			}
-		}
+		e.advanceFrontier(start)
 		end := start + window
 		if e.probeAt < end {
 			end = e.probeAt
@@ -159,6 +185,7 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 				continue
 			}
 			if h := ent.ba.Horizon(); h > ent.at {
+				ent.boundEnd = end
 				ent.safeUntil = h
 				if end < h {
 					ent.safeUntil = end
@@ -166,7 +193,6 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 				bound = append(bound, ent)
 			}
 		}
-		boundMax := Time(-1)
 		if len(bound) > 0 {
 			for _, ent := range bound {
 				heap.Remove(&e.heap, ent.index)
@@ -218,12 +244,22 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 				}
 			}
 			ent := e.heap[0]
-			if ent.at > e.now {
-				e.now = ent.at
-				if e.now >= e.probeAt {
-					e.fireProbe()
+			// A weave step can hand its actor a fresh private stretch —
+			// a worker entering an idle backoff under shared horizons, a
+			// drift actor whose window re-opened. If the next pending
+			// step is bound-eligible, close the epoch early and let the
+			// partition take it instead of burning the headroom serially;
+			// the new epoch opens at this exact entry, so the frontier
+			// and probe sequence are unchanged. The partition is
+			// guaranteed to extract the entry (same h > at test), so the
+			// bound phase makes at least one step of progress and the
+			// outer loop cannot spin.
+			if ent.ba != nil {
+				if h := ent.ba.Horizon(); h > ent.at {
+					break
 				}
 			}
+			e.advanceFrontier(ent.at)
 			e.steps++
 			e.steppingID = ent.id
 			next, done := ent.actor.Step()
@@ -244,12 +280,12 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 				heap.Push(&e.heap, ent)
 			}
 		}
-		// The serial frontier after this window is the latest in-window
-		// step, which may belong to a bound actor that ran past the last
-		// weave step. boundMax < end <= probeAt, so no probe fires here.
-		e.foldFrontier(boundMax)
 	}
-	return e.now, true
+	// The serial frontier at drain is the latest executed step, which may
+	// belong to a bound actor that ran past the last weave step.
+	// boundMax < end <= probeAt for the epoch that produced it, so no
+	// probe fires on the fold.
+	return e.foldFrontier(boundMax), true
 }
 
 // foldFrontier advances the frontier to the latest bound-phase step of
@@ -292,8 +328,12 @@ func (e *Engine) resolveBoundWake(ent *entry, at Time) bool {
 
 // stepBound runs one actor's bound phase: step while the pending time is
 // inside the actor's safe window, recording each step's time for wake
-// reconciliation. Runs on a pool goroutine; touches only the entry and
-// the actor's private state.
+// reconciliation. The actor's horizon is re-consulted after every step —
+// conservative-lookahead horizons move as the actor's next off-core
+// event approaches or recedes — so the safe window shrinks and grows
+// step by step, clamped to the epoch end. Runs on a pool goroutine;
+// touches only the entry and the actor's private state (which is why
+// Horizon must read nothing shared).
 func stepBound(ent *entry) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -315,6 +355,14 @@ func stepBound(ent *entry) {
 			next = t
 		}
 		t = next
+		// Dynamic horizon: the step may have moved the actor's next
+		// interaction point. A shrink below t hands the remaining window
+		// back to the weave; a growth extends the private stretch up to
+		// the epoch end.
+		ent.safeUntil = ent.boundEnd
+		if h := ent.ba.Horizon(); h < ent.safeUntil {
+			ent.safeUntil = h
+		}
 	}
 	ent.at = t
 }

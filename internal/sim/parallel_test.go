@@ -10,13 +10,17 @@ import (
 
 // The differential layer: a synthetic universe decoded from a byte
 // string, run through Run and RunParallel, with every observable output
-// compared. Three actor species cover the interaction spectrum:
+// compared. Four actor species cover the interaction spectrum:
 //
 //   - localActor: BoundedActor with HorizonNever — its whole lifetime is
 //     private, so it is bound-stepped through every epoch.
 //   - phasedActor: BoundedActor with a moving finite horizon — private
 //     stretches punctuated by interactive steps that touch the shared
 //     log and wake social actors (the partial-bounding case).
+//   - driftActor: BoundedActor whose horizon moves *during* the private
+//     stretch — shrinking and growing step by step, the dynamic
+//     re-consultation stepBound performs on pool goroutines (the
+//     conservative-lookahead shape galois idle backoffs use).
 //   - socialActor: plain Actor — every step is interactive: shared-log
 //     appends, peer wakes, self-wakes, done-then-rearm.
 
@@ -98,6 +102,64 @@ func (a *phasedActor) Step() (Time, bool) {
 
 func (a *phasedActor) Horizon() Time { return a.horizon }
 
+// driftActor alternates interactive steps (shared-log append, maybe a
+// wake) with private stretches bounded by `until`. Unlike phasedActor,
+// `until` drifts while the stretch executes: private steps occasionally
+// extend it (a horizon growing mid-bound-phase, which stepBound may
+// exploit only up to the epoch end) or pull it closer (a shrink that
+// hands the actor back to the weave early). Horizon stays a pure
+// function of actor-private state, as the bound phase requires.
+type driftActor struct {
+	traceRec
+	w       *world
+	eng     *Engine
+	id      int
+	at      Time
+	until   Time // end of the current private stretch
+	s       script
+	limit   int
+	targets []int // social actor IDs
+}
+
+func (a *driftActor) Step() (Time, bool) {
+	a.times = append(a.times, a.at)
+	if len(a.times) >= a.limit {
+		return a.at, true
+	}
+	if a.at >= a.until {
+		// Interactive step: shared-log append, maybe a wake, then open
+		// the next private stretch.
+		a.w.log = append(a.w.log, int64(a.id)<<32|int64(a.at))
+		if b := a.s.next(); len(a.targets) > 0 && b&1 == 1 {
+			a.eng.Wake(a.targets[int(b>>1)%len(a.targets)], a.at+Time(b%11))
+		}
+		a.until = a.at + 1 + Time(a.s.next()%37)
+		a.at += Time(a.s.next() % 5)
+		return a.at, false
+	}
+	// Private step: advance, and drift the stretch end. The shrink keeps
+	// until strictly past the current time, so steps already claimed
+	// private stay private.
+	b := a.s.next()
+	a.at += Time(b % 6)
+	switch {
+	case b%7 == 0:
+		a.until += Time(1 + b%16) // grow: the next interaction receded
+	case b%5 == 0 && a.until > a.at+1:
+		a.until-- // shrink: the next interaction approached
+	}
+	return a.at, false
+}
+
+// Horizon reports the remaining private stretch — re-read after every
+// bound step, so its drift is what the dynamic partition must track.
+func (a *driftActor) Horizon() Time {
+	if a.at >= a.until {
+		return HorizonAlwaysWeave
+	}
+	return a.until
+}
+
 type socialActor struct {
 	traceRec
 	w     *world
@@ -135,6 +197,7 @@ func buildWorld(data []byte) (*Engine, *world) {
 	nLocal := int(s.next() % 5)
 	nPhased := int(s.next() % 4)
 	nSocial := 1 + int(s.next()%4)
+	nDrift := int(s.next() % 4)
 	probeEvery := Time(s.next()%64) * 4
 	wdEvery := int64(s.next() % 50)
 
@@ -157,6 +220,13 @@ func buildWorld(data []byte) (*Engine, *world) {
 		a := &phasedActor{w: w, eng: e, at: Time(s.next() % 16), s: sub(k), limit: limit(), targets: socials}
 		k++
 		a.horizon = a.at + 1 + Time(s.next()%23)
+		a.id = e.Register(a)
+		w.actors = append(w.actors, a)
+	}
+	for i := 0; i < nDrift; i++ {
+		a := &driftActor{w: w, eng: e, at: Time(s.next() % 16), s: sub(k), limit: limit(), targets: socials}
+		k++
+		a.until = a.at + 1 + Time(s.next()%37)
 		a.id = e.Register(a)
 		w.actors = append(w.actors, a)
 	}
@@ -184,7 +254,11 @@ func buildWorld(data []byte) (*Engine, *world) {
 // in which case even the watchdog poll count is serial-exact.
 func allWeave(data []byte) bool {
 	s := &script{b: data}
-	return s.next()%5 == 0 && s.next()%4 == 0
+	nLocal := s.next() % 5
+	nPhased := s.next() % 4
+	s.next() // nSocial: socials always weave
+	nDrift := s.next() % 4
+	return nLocal == 0 && nPhased == 0 && nDrift == 0
 }
 
 // outcome is everything the determinism contract covers.
@@ -269,14 +343,14 @@ func TestParallelMatchesSerialRandom(t *testing.T) {
 }
 
 func TestParallelAllWeaveExact(t *testing.T) {
-	// First two bytes zero force nLocal = nPhased = 0: nothing is
-	// bound-eligible, so parallel mode must match serially bit-for-bit
-	// including watchdog poll counts.
+	// Zeroed species-count bytes force nLocal = nPhased = nDrift = 0:
+	// nothing is bound-eligible, so parallel mode must match serially
+	// bit-for-bit including watchdog poll counts.
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 40; i++ {
 		data := make([]byte, 8+rng.Intn(40))
 		rng.Read(data)
-		data[0], data[1] = 0, 0
+		data[0], data[1], data[3] = 0, 0, 0
 		if !allWeave(data) {
 			t.Fatal("scenario construction drifted: expected all-weave")
 		}
@@ -297,6 +371,22 @@ func TestParallelBoundPhaseRuns(t *testing.T) {
 	}
 	if serial.bound != 0 {
 		t.Fatal("serial run must not report bound steps")
+	}
+}
+
+func TestParallelDynamicHorizonBound(t *testing.T) {
+	// Drift-only universe (plus the mandatory social): the bound phase
+	// must engage on actors whose horizons move between steps, and every
+	// worker/window combination must still match the serial schedule.
+	data := []byte{0, 0, 0, 3, 0, 0, 191, 83, 47, 201, 133, 77, 29, 250, 61, 19}
+	serial := runScenario(data, false, 0, 0)
+	for _, pc := range parCfgs {
+		par := runScenario(data, true, pc.window, pc.workers)
+		assertEquiv(t, serial, par, false, fmt.Sprintf("workers=%d window=%d", pc.workers, pc.window))
+	}
+	wide := runScenario(data, true, DefaultEpochWindow, 4)
+	if wide.bound == 0 {
+		t.Fatal("expected bound-phase steps > 0 for a drift-heavy scenario")
 	}
 }
 
@@ -357,6 +447,38 @@ type wakerActor struct {
 func (a *wakerActor) Step() (Time, bool) {
 	a.eng.Wake(a.target, a.wakeAt)
 	return a.at, true
+}
+
+func TestParallelSparseProbeCatchUp(t *testing.T) {
+	// A sparse bound schedule: one actor striding 50 cycles under an
+	// 8-cycle probe interval, so every idle gap — epoch opens included —
+	// crosses several boundaries at once. Serial and parallel runs must
+	// fire one callback per boundary, in order, with identical step
+	// counts at each firing; a catch-up that fired only once per gap
+	// would leave holes in the boundary sequence.
+	build := func() (*Engine, *[]int64) {
+		e := NewEngine()
+		id := e.Register(&sparseActor{})
+		e.Wake(id, 0)
+		probes := &[]int64{}
+		e.SetProbe(8, func(at Time) { *probes = append(*probes, int64(at), e.Steps()) })
+		return e, probes
+	}
+	es, want := build()
+	es.Run(0)
+	for i := 0; i+1 < len(*want); i += 2 {
+		if exp := int64(8 * (i/2 + 1)); (*want)[i] != exp {
+			t.Fatalf("serial probe sequence has a hole: probe %d fired at %d, want %d", i/2, (*want)[i], exp)
+		}
+	}
+	for _, pc := range parCfgs {
+		ep, got := build()
+		ep.RunParallel(0, pc.window, pc.workers)
+		if !reflect.DeepEqual(*want, *got) {
+			t.Fatalf("workers=%d window=%d: probe trace diverges\nserial: %v\npar:    %v",
+				pc.workers, pc.window, *want, *got)
+		}
+	}
 }
 
 func TestParallelWakeViolationPanics(t *testing.T) {

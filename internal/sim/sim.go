@@ -90,8 +90,12 @@ type entry struct {
 	// stepTimes records the local times of the steps this actor executed
 	// ahead of the weave during the current epoch's bound phase; Wake uses
 	// it to reconcile weave-phase wakes against already-executed history.
+	// safeUntil is min(declared horizon, epoch end) and is re-derived
+	// after every bound step from the actor's (dynamic) horizon; boundEnd
+	// pins the epoch end so a growing horizon can never escape the window.
 	epoch      int64
 	safeUntil  Time
+	boundEnd   Time
 	stepTimes  []Time
 	boundSteps int64
 	boundDone  bool
@@ -187,6 +191,21 @@ func (e *Engine) fireProbe() {
 	}
 }
 
+// advanceFrontier moves the frontier forward to at (never backwards),
+// replaying every probe boundary the jump crossed. This is the single
+// frontier-advance path shared by the serial loop, the parallel epoch
+// open, and the weave loop: a sparse schedule whose idle gap skips
+// several boundaries at once fires the same per-boundary callback
+// sequence no matter which execution mode crossed the gap.
+func (e *Engine) advanceFrontier(at Time) {
+	if at > e.now {
+		e.now = at
+		if e.now >= e.probeAt {
+			e.fireProbe()
+		}
+	}
+}
+
 // SetWatchdog installs fn to be polled once every `every` actor steps
 // during Run. If fn returns true the run halts immediately: Run returns
 // (Now(), false) and Halted() reports true until the next Run. The
@@ -258,7 +277,13 @@ func (e *Engine) Wake(id int, at Time) {
 	if at < e.now {
 		at = e.now
 	}
-	if ent.epoch != 0 && ent.epoch == e.epoch && !e.resolveBoundWake(ent, at) {
+	// Reconcile against bound-phase history whenever the entry still
+	// carries recorded run-ahead steps — not just when it was bound in
+	// the current epoch: an epoch can close early (the weave hands a
+	// freshly bound-eligible actor back to the partition), leaving a
+	// prior epoch's bound steps ahead of the frontier. History fully in
+	// the past resolves to regular handling inside resolveBoundWake.
+	if len(ent.stepTimes) > 0 && !e.resolveBoundWake(ent, at) {
 		return // absorbed: the serial schedule would have no-op'd this wake
 	}
 	if ent.index >= 0 {
@@ -301,12 +326,7 @@ func (e *Engine) Run(maxSteps int64) (Time, bool) {
 			}
 		}
 		ent := e.heap[0]
-		if ent.at > e.now {
-			e.now = ent.at
-			if e.now >= e.probeAt {
-				e.fireProbe()
-			}
-		}
+		e.advanceFrontier(ent.at)
 		e.steps++
 		// Step may call Wake, which can push or re-sift entries and
 		// displace ent from the root; track ent by its heap index (kept

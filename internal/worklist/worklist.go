@@ -17,9 +17,11 @@
 //
 // Bound/weave placement: a worklist's pop order is exactly the state the
 // (time, ID) actor ordering exists to serialize, so shared worklists are
-// weave-only under sim.Engine.RunParallel. A worker whose very first
-// step action is a pop therefore has interaction horizon 0 unless its
-// worklist (and everything behind it) is a private copy.
+// weave-only under sim.Engine.RunParallel. A worker whose next step pops
+// therefore declares sim.HorizonAlwaysWeave — the explicit sentinel, not
+// a computed 0 — unless its worklist (and everything behind it) is a
+// private copy, or the step is a deferred idle backoff that touches no
+// worklist at all (galois.Config.SharedHorizons).
 package worklist
 
 import (

@@ -132,6 +132,16 @@ type Config struct {
 	// IntraJobs >= 1 (0 selects the default). Like IntraJobs it never
 	// changes simulation output.
 	EpochWindow int64
+	// SharedHorizons enables conservative-lookahead horizons for
+	// shared-machine runs: idle worker backoffs become private steps the
+	// bound/weave engine can execute concurrently, so a single big
+	// simulation gains bound-phase coverage instead of only the
+	// isolated-copy rate harness. Unlike IntraJobs/EpochWindow this DOES
+	// change the step schedule (each idle wait splits into poll + wait),
+	// so results are comparable only among runs with the same setting;
+	// for a fixed setting output remains byte-identical across engines
+	// and worker counts.
+	SharedHorizons bool
 }
 
 // Validate rejects nonsensical configurations with a descriptive error
@@ -203,6 +213,15 @@ type Result struct {
 	WallCycles int64 // end-to-end simulated cycles
 	Tasks      int64 // operator applications (work-efficiency metric)
 	TimedOut   bool
+
+	// SimSteps is the number of discrete-event actor steps the run
+	// executed; BoundSteps is how many of them ran inside bound/weave
+	// bound phases (Config.IntraJobs >= 1) — the single-run concurrency
+	// Config.SharedHorizons buys. BoundSteps is a host-execution metric
+	// excluded from SummaryHash: it varies with IntraJobs/EpochWindow
+	// while the simulated outcome stays byte-identical.
+	SimSteps   int64
+	BoundSteps int64
 
 	// SummaryHash is the sha256 fingerprint of the run's deterministic
 	// summary (stats.RunSummary) — the value the determinism and
@@ -304,6 +323,7 @@ func (c Config) toOptions() (harness.Options, error) {
 		MaxCycles:      c.MaxCycles,
 		IntraJobs:      c.IntraJobs,
 		EpochWindow:    c.EpochWindow,
+		SharedHorizons: c.SharedHorizons,
 	}
 	if c.Minnow {
 		o.Scheduler = "minnow"
@@ -361,6 +381,8 @@ func resultFrom(benchmark string, r *stats.Run) *Result {
 		WallCycles:         r.WallCycles,
 		Tasks:              r.WorkItems,
 		TimedOut:           r.TimedOut,
+		SimSteps:           r.SimSteps,
+		BoundSteps:         r.BoundSteps,
 		SummaryHash:        r.Summary().Hash(),
 		L2MPKI:             r.L2MPKI(),
 		PrefetchEfficiency: r.L2.Efficiency(),
