@@ -1,0 +1,97 @@
+// Command minnowd serves Minnow simulations over HTTP: jobs are
+// submitted as JSON configs, queued by priority, executed on a sharded
+// worker pool, and deduplicated through a content-addressed result
+// cache keyed by the canonical form of the validated config. Because
+// every simulation is bit-reproducible, a cache hit returns the exact
+// bytes a fresh run would produce — see docs/SERVICE.md for the API
+// reference and cache-key canonicalization rules.
+//
+// Usage:
+//
+//	minnowd -addr :8080
+//	minnowd -addr :8080 -shards 4 -cache-dir /var/lib/minnowd
+//	minnowd -addr :8080 -job-max-cycles 500000000 -progress-every 1000000
+//
+// SIGINT/SIGTERM drains: submissions are refused with 503, accepted
+// jobs finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"minnow/internal/inspect"
+	"minnow/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address (host:port)")
+		shards   = flag.Int("shards", 0, "concurrent simulations (0 = size against -intra-jobs via the shared budget)")
+		intra    = flag.Int("intra-jobs", 0, "bound/weave workers inside each simulation for jobs that leave IntraJobs 0 (host-only; never changes results)")
+		cacheDir = flag.String("cache-dir", "", "persist the result cache under this directory (empty = memory only)")
+		queueCap = flag.Int("queue-limit", 0, "refuse submissions beyond this many queued jobs with 429 (0 = 65536)")
+		maxCyc   = flag.Int64("job-max-cycles", 0, "watchdog bound applied to jobs that leave MaxCycles 0: halt past this many simulated cycles (0 = simulator default)")
+		progress = flag.Int64("progress-every", 0, "metrics-sampling cadence in simulated cycles for jobs that leave MetricsEvery 0; feeds /jobs/{id}/stream (0 = off)")
+		inspAddr = flag.String("inspect", "", "also serve the live inspector (host pprof + metrics) on this address; minnowd's counters are registered onto its /metrics")
+		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "on SIGINT/SIGTERM, cancel still-queued jobs after this long (running jobs ride their watchdog)")
+	)
+	flag.Parse()
+
+	s, err := service.New(service.Config{
+		Shards:        *shards,
+		IntraJobs:     *intra,
+		CacheDir:      *cacheDir,
+		QueueLimit:    *queueCap,
+		MaxCycles:     *maxCyc,
+		ProgressEvery: *progress,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minnowd:", err)
+		os.Exit(1)
+	}
+
+	bound, stop, err := s.Serve(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minnowd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("minnowd: serving on %s (%d shards, cache %s)\n", bound, s.Shards(), cacheDesc(*cacheDir, s.Cache().Len()))
+
+	if *inspAddr != "" {
+		insp, err := inspect.Start(*inspAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minnowd:", err)
+			os.Exit(1)
+		}
+		insp.Register(s.MetricsText)
+		defer insp.Close()
+		fmt.Printf("minnowd: inspector on %s (host pprof + service metrics)\n", insp.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("minnowd: draining (accepted jobs finish; submissions now refused)")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "minnowd: drain timeout, queued jobs canceled:", err)
+	}
+	stop() //nolint:errcheck // listener teardown on exit
+	fmt.Println("minnowd: drained, bye")
+}
+
+// cacheDesc renders the startup cache summary line.
+func cacheDesc(dir string, entries int) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return fmt.Sprintf("%s with %d entries", dir, entries)
+}

@@ -1,0 +1,287 @@
+// Command minnowload drives a running minnowd with a synthetic job
+// stream and reports throughput, latency, and cache effectiveness. It
+// replays a small sweep grid (benchmarks × seeds) with cycling
+// duplicates, so a correctly deduplicating server converges to serving
+// most submissions from the content-addressed cache.
+//
+// Two load shapes:
+//
+//   - closed loop (default): -clients workers each submit, wait for the
+//     terminal status, then submit again — back-pressure bounded.
+//   - open loop: -rate R submits R jobs/second regardless of completion,
+//     the shape that exposes queueing collapse.
+//
+// Every completed job is checked client-side: the summary hash reported
+// for a cache key must match every other completion of that key. A
+// mismatch is a determinism violation in the server's cache and makes
+// the run exit nonzero, as does -require-hits when the run finishes
+// without a single deduplicated submission. CI runs a short smoke with
+// -require-hits as the dedup-correctness gate (see docs/SERVICE.md).
+//
+// Usage:
+//
+//	minnowload -addr http://127.0.0.1:8080 -duration 30s
+//	minnowload -addr http://127.0.0.1:8080 -rate 20 -duration 1m -seeds 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"minnow/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "minnowd base URL")
+		dur     = flag.Duration("duration", 30*time.Second, "how long to keep submitting")
+		clients = flag.Int("clients", 4, "closed-loop worker count (ignored with -rate)")
+		rate    = flag.Float64("rate", 0, "open-loop submissions per second (0 = closed loop)")
+		benches = flag.String("benches", "SSSP,BFS", "comma-separated benchmark grid")
+		seeds   = flag.Int("seeds", 2, "distinct seeds per benchmark (grid size = benches × seeds; smaller grids repeat sooner and hit the cache harder)")
+		threads = flag.Int("threads", 1, "simulated core count per job (keep small; every miss is a full simulation)")
+		wait    = flag.Duration("wait", 5*time.Minute, "per-job completion wait before counting it lost")
+		require = flag.Bool("require-hits", false, "exit nonzero unless at least one submission was served by cache hit or coalescing")
+	)
+	flag.Parse()
+
+	grid := buildGrid(strings.Split(*benches, ","), *seeds, *threads)
+	fmt.Printf("minnowload: %d-point grid against %s for %v\n", len(grid), *addr, *dur)
+
+	l := &loader{addr: strings.TrimRight(*addr, "/"), grid: grid, wait: *wait, hashes: make(map[string]string)}
+	deadline := time.Now().Add(*dur)
+	if *rate > 0 {
+		l.openLoop(*rate, deadline)
+	} else {
+		l.closedLoop(*clients, deadline)
+	}
+	ok := l.report(*require)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// buildGrid expands the benchmark × seed sweep into submission bodies
+// with their client-side cache keys.
+func buildGrid(benches []string, seeds, threads int) []point {
+	var grid []point
+	for _, b := range benches {
+		b = strings.TrimSpace(b)
+		for s := 0; s < seeds; s++ {
+			spec := service.JobSpec{Bench: b, Config: service.ConfigSpec{
+				Threads: threads, Seed: 42 + uint64(s), Minnow: true, Prefetch: true,
+			}}
+			key, _ := service.CacheKey(b, spec.Config.ToConfig())
+			body, _ := json.Marshal(spec)
+			grid = append(grid, point{key: key, body: body})
+		}
+	}
+	return grid
+}
+
+// point is one grid entry: the request body and the cache key the
+// client expects the server to file it under.
+type point struct {
+	key  string
+	body []byte
+}
+
+// loader runs the load shape and accumulates results.
+type loader struct {
+	addr string
+	grid []point
+	wait time.Duration
+
+	mu        sync.Mutex
+	submitted int
+	completed int
+	cachedN   int // served with Cached or Coalesced set
+	failures  []string
+	sojourns  []time.Duration
+	hashes    map[string]string // key → first summary hash seen
+	mismatch  []string
+}
+
+// closedLoop runs n workers, each submit-wait-repeat until the deadline.
+func (l *loader) closedLoop(n int, deadline time.Time) {
+	var wg sync.WaitGroup
+	var next int64
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				mu.Lock()
+				p := l.grid[int(next)%len(l.grid)]
+				next++
+				mu.Unlock()
+				l.one(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop submits at a fixed rate without waiting for completions,
+// then waits for the stragglers.
+func (l *loader) openLoop(rate float64, deadline time.Time) {
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer tick.Stop()
+	var wg sync.WaitGroup
+	for i := 0; time.Now().Before(deadline); i++ {
+		<-tick.C
+		p := l.grid[i%len(l.grid)]
+		wg.Add(1)
+		go func() { defer wg.Done(); l.one(p) }()
+	}
+	wg.Wait()
+}
+
+// one submits a single job, waits for its terminal status, and records
+// the sojourn and the key→hash observation.
+func (l *loader) one(p point) {
+	start := time.Now()
+	l.mu.Lock()
+	l.submitted++
+	l.mu.Unlock()
+
+	v, err := l.submit(p.body)
+	if err != nil {
+		l.fail(err.Error())
+		return
+	}
+	for v.Status == service.StatusQueued || v.Status == service.StatusRunning {
+		if time.Since(start) > l.wait {
+			l.fail(fmt.Sprintf("%s: no terminal status within %v", v.ID, l.wait))
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		v, err = l.poll(v.ID)
+		if err != nil {
+			l.fail(err.Error())
+			return
+		}
+	}
+	if v.Status != service.StatusDone {
+		l.fail(fmt.Sprintf("%s: terminal status %s: %s", v.ID, v.Status, v.Error))
+		return
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.completed++
+	l.sojourns = append(l.sojourns, time.Since(start))
+	if v.Cached || v.Coalesced {
+		l.cachedN++
+	}
+	if v.Key != p.key {
+		l.mismatch = append(l.mismatch, fmt.Sprintf("%s: server key %s != client key %s", v.ID, v.Key, p.key))
+	}
+	if prev, seen := l.hashes[p.key]; !seen {
+		l.hashes[p.key] = v.SummaryHash
+	} else if prev != v.SummaryHash {
+		l.mismatch = append(l.mismatch, fmt.Sprintf("%s: key %s returned hash %s, previously %s", v.ID, p.key, v.SummaryHash, prev))
+	}
+}
+
+// submit POSTs one job and decodes the JobView.
+func (l *loader) submit(body []byte) (service.JobView, error) {
+	resp, err := http.Post(l.addr+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.JobView{}, err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return service.JobView{}, fmt.Errorf("POST /jobs: %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	var v service.JobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		return service.JobView{}, fmt.Errorf("POST /jobs: bad body: %w", err)
+	}
+	return v, nil
+}
+
+// poll GETs one job's current view.
+func (l *loader) poll(id string) (service.JobView, error) {
+	resp, err := http.Get(l.addr + "/jobs/" + id)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	defer resp.Body.Close()
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return service.JobView{}, fmt.Errorf("GET /jobs/%s: %w", id, err)
+	}
+	return v, nil
+}
+
+// fail records one lost submission.
+func (l *loader) fail(msg string) {
+	l.mu.Lock()
+	l.failures = append(l.failures, msg)
+	l.mu.Unlock()
+}
+
+// report prints the run summary and returns whether the run passes:
+// no hash mismatches, no failures, and (with requireHits) at least one
+// deduplicated submission.
+func (l *loader) report(requireHits bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	sort.Slice(l.sojourns, func(i, j int) bool { return l.sojourns[i] < l.sojourns[j] })
+	pct := func(p float64) time.Duration {
+		if len(l.sojourns) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(l.sojourns)-1))
+		return l.sojourns[i]
+	}
+	var total time.Duration
+	for _, d := range l.sojourns {
+		total += d
+	}
+	ratio := 0.0
+	if l.completed > 0 {
+		ratio = float64(l.cachedN) / float64(l.completed)
+	}
+
+	fmt.Printf("minnowload: submitted %d, completed %d, failed %d\n", l.submitted, l.completed, len(l.failures))
+	if l.completed > 0 {
+		fmt.Printf("minnowload: sojourn p50 %v  p99 %v  mean %v\n", pct(0.50).Round(time.Millisecond), pct(0.99).Round(time.Millisecond), (total / time.Duration(l.completed)).Round(time.Millisecond))
+	}
+	fmt.Printf("minnowload: client-observed cache hit ratio %.3f (%d of %d served without a fresh simulation)\n", ratio, l.cachedN, l.completed)
+	fmt.Printf("minnowload: %d distinct cache keys, %d hash mismatches\n", len(l.hashes), len(l.mismatch))
+
+	ok := true
+	for _, m := range l.mismatch {
+		fmt.Fprintln(os.Stderr, "minnowload: MISMATCH:", m)
+		ok = false
+	}
+	for i, f := range l.failures {
+		if i == 8 {
+			fmt.Fprintf(os.Stderr, "minnowload: ... and %d more failures\n", len(l.failures)-i)
+			break
+		}
+		fmt.Fprintln(os.Stderr, "minnowload: FAILED:", f)
+	}
+	if len(l.failures) > 0 {
+		ok = false
+	}
+	if requireHits && l.cachedN == 0 {
+		fmt.Fprintln(os.Stderr, "minnowload: -require-hits: no submission was deduplicated")
+		ok = false
+	}
+	return ok
+}

@@ -27,9 +27,10 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 
-	mu     sync.Mutex
-	cycles int64
-	prom   string
+	mu      sync.Mutex
+	cycles  int64
+	prom    string
+	sources []func() string
 }
 
 // Start listens on addr (host:port; an empty host binds all interfaces)
@@ -64,20 +65,39 @@ func (s *Server) OnSample(cycles int64, metrics string) {
 	s.mu.Unlock()
 }
 
+// Register appends an auxiliary metrics source to the /metrics
+// exposition: fn is invoked on every scrape (outside the sample lock)
+// and its Prometheus text is emitted after the simulation sample.
+// minnowd registers its service counters here so one inspector scrape
+// covers both the simulation's interval registry and the service's
+// queue/cache/worker metrics (see docs/SERVICE.md). Sources must be
+// safe for concurrent calls; registration order is emission order.
+func (s *Server) Register(fn func() string) {
+	s.mu.Lock()
+	s.sources = append(s.sources, fn)
+	s.mu.Unlock()
+}
+
 // Close shuts the listener down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// metrics serves the Prometheus text exposition of the latest sample.
+// metrics serves the Prometheus text exposition of the latest sample,
+// followed by every registered auxiliary source.
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	prom := s.prom
+	sources := make([]func() string, len(s.sources))
+	copy(sources, s.sources)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if prom == "" {
 		fmt.Fprintln(w, "# no sample yet (first metrics-sample boundary not crossed)")
-		return
+	} else {
+		fmt.Fprint(w, prom)
 	}
-	fmt.Fprint(w, prom)
+	for _, fn := range sources {
+		fmt.Fprint(w, fn())
+	}
 }
 
 // index names the endpoints for humans landing on /.

@@ -59,6 +59,38 @@ func TestMetricsLifecycle(t *testing.T) {
 	}
 }
 
+// TestRegisterAppendsSources pins the auxiliary-source contract: each
+// registered source's exposition is appended after the simulation
+// sample (or the no-sample comment) in registration order, and is
+// re-invoked on every scrape so live counters stay fresh.
+func TestRegisterAppendsSources(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := 0
+	srv.Register(func() string { n++; return "minnowd_queue_depth 3\n" })
+	srv.Register(func() string { return "minnowd_workers 2\n" })
+
+	body, _ := get(t, srv.Addr(), "/metrics")
+	want := "# no sample yet (first metrics-sample boundary not crossed)\nminnowd_queue_depth 3\nminnowd_workers 2\n"
+	if body != want {
+		t.Errorf("before sample, /metrics = %q, want %q", body, want)
+	}
+
+	srv.OnSample(100, "minnow_wall_cycles 100\n")
+	body, _ = get(t, srv.Addr(), "/metrics")
+	want = "minnow_wall_cycles 100\nminnowd_queue_depth 3\nminnowd_workers 2\n"
+	if body != want {
+		t.Errorf("after sample, /metrics = %q, want %q", body, want)
+	}
+	if n != 2 {
+		t.Errorf("source invoked %d times, want once per scrape (2)", n)
+	}
+}
+
 // TestIndexReportsCycles checks the landing page carries the latest
 // sampled cycle stamp and names the endpoints.
 func TestIndexReportsCycles(t *testing.T) {

@@ -1,0 +1,208 @@
+// Package cache is minnowd's content-addressed result store. Every
+// Minnow simulation is bit-reproducible — the same validated
+// configuration always yields the same stats.RunSummary and therefore
+// the same SummaryHash — so finished runs can be memoized under a
+// canonical hash of the configuration that produced them (the key; see
+// the service package's CacheKey for the canonicalization rules). A hit
+// returns the stored result without simulating; a million submitted
+// sweep cells dedupe to their unique configurations.
+//
+// Concurrency contract: a Cache is safe for concurrent use by any
+// number of goroutines; every method takes the internal mutex. Disk I/O
+// (when a directory is configured) happens inside that critical
+// section, which keeps the load-check-store path atomic at the cost of
+// serializing lookups — acceptable because entries are small relative
+// to the simulations they replace.
+//
+// Determinism contract: the cache never mutates stored bytes. Summary
+// and Result are retained as raw JSON exactly as produced by the run
+// that populated the entry, so a hit is byte-identical to the cold run
+// — the property the service's dedup-correctness CI gate asserts. Put
+// refuses (with ErrHashConflict) to replace an entry whose SummaryHash
+// differs from the incoming one: under the determinism contract that
+// can only mean a broken simulator or a corrupted store, and silently
+// overwriting would mask it.
+package cache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrHashConflict is returned by Put when an entry already exists under
+// the key with a different SummaryHash — a determinism violation (or
+// store corruption) that must surface, never be papered over.
+var ErrHashConflict = errors.New("cache: summary hash conflict for existing key")
+
+// Entry is one memoized simulation result. All JSON payloads are stored
+// raw so a cache hit replays the producing run's bytes exactly.
+type Entry struct {
+	// Key is the canonical configuration hash the entry is stored under.
+	Key string `json:"key"`
+	// Bench is the benchmark name, kept for operators browsing the store.
+	Bench string `json:"bench"`
+	// KeyJSON is the canonical key document that hashed to Key — the
+	// debuggable form of "what configuration does this entry answer".
+	KeyJSON json.RawMessage `json:"key_json"`
+	// SummaryHash is the run's deterministic fingerprint
+	// (stats.RunSummary sha256); Put enforces that it never changes for
+	// a given Key.
+	SummaryHash string `json:"summary_hash"`
+	// Summary is the canonical stats.RunSummary JSON of the producing
+	// run, byte-for-byte.
+	Summary json.RawMessage `json:"summary"`
+	// Result is the full public minnow.Result JSON of the producing run,
+	// including any timeline/profile artifacts it carried.
+	Result json.RawMessage `json:"result"`
+	// HasTimeline records whether Result carries a Perfetto timeline, so
+	// a hit can be refused when the request needs an artifact the entry
+	// lacks.
+	HasTimeline bool `json:"has_timeline"`
+	// HasProfile records whether Result carries the folded/pprof
+	// cycle-attribution artifacts.
+	HasProfile bool `json:"has_profile"`
+}
+
+// Covers reports whether the entry satisfies a request that needs a
+// timeline and/or profile artifact: an entry with more artifacts than
+// requested still covers, one with fewer forces a re-simulation (whose
+// Put then upgrades the entry in place, hash-checked).
+func (e *Entry) Covers(timeline, profile bool) bool {
+	return (!timeline || e.HasTimeline) && (!profile || e.HasProfile)
+}
+
+// Cache is a content-addressed entry store: an in-memory map backed by
+// an optional on-disk directory that survives restarts.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string]*Entry
+	dir string // "" = memory only
+}
+
+// New returns a memory-only cache.
+func New() *Cache { return &Cache{mem: make(map[string]*Entry)} }
+
+// NewDisk returns a cache persisted under dir (created if missing): each
+// entry lives in <dir>/<key>.json, written atomically via a temp file +
+// rename, so a crash mid-write never leaves a truncated entry behind. A
+// fresh Cache over an existing directory serves its entries (loaded
+// lazily on first Get) — the "disk cache survives a restart" contract.
+func NewDisk(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{mem: make(map[string]*Entry), dir: dir}, nil
+}
+
+// Dir returns the backing directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Len returns the number of entries the cache can currently serve: all
+// in-memory entries plus any on-disk entries not yet loaded.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.mem)
+	if c.dir == "" {
+		return n
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return n
+	}
+	on := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".json") {
+			key := strings.TrimSuffix(e.Name(), ".json")
+			if _, ok := c.mem[key]; !ok {
+				on++
+			}
+		}
+	}
+	return n + on
+}
+
+// Get returns the entry stored under key, falling back to (and
+// repopulating memory from) the disk store. The second result reports
+// whether an entry was found.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.mem[key]; ok {
+		return e, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key {
+		// A corrupt or mismatched file is treated as a miss; the next Put
+		// rewrites it atomically.
+		return nil, false
+	}
+	c.mem[key] = &e
+	return &e, true
+}
+
+// Put stores the entry under its Key. Replacing an existing entry is
+// allowed only when the SummaryHash matches (an artifact upgrade: a
+// re-simulation that added a timeline or profile to the same
+// deterministic result); a differing hash returns ErrHashConflict and
+// leaves the store untouched.
+func (c *Cache) Put(e *Entry) error {
+	if e.Key == "" {
+		return errors.New("cache: entry has no key")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.mem[e.Key]; ok && old.SummaryHash != e.SummaryHash {
+		return fmt.Errorf("%w: key %s has %s, incoming %s",
+			ErrHashConflict, e.Key, old.SummaryHash, e.SummaryHash)
+	}
+	if c.dir != "" {
+		// Check the disk copy too: a restart may hold entries memory has
+		// not seen yet.
+		if b, err := os.ReadFile(c.path(e.Key)); err == nil {
+			var old Entry
+			if json.Unmarshal(b, &old) == nil && old.SummaryHash != "" && old.SummaryHash != e.SummaryHash {
+				return fmt.Errorf("%w: key %s has %s on disk, incoming %s",
+					ErrHashConflict, e.Key, old.SummaryHash, e.SummaryHash)
+			}
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("cache: marshal entry: %w", err)
+		}
+		tmp, err := os.CreateTemp(c.dir, ".put-*")
+		if err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+		_, werr := tmp.Write(b)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("cache: write entry: %w", errors.Join(werr, cerr))
+		}
+		if err := os.Rename(tmp.Name(), c.path(e.Key)); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("cache: %w", err)
+		}
+	}
+	c.mem[e.Key] = e
+	return nil
+}
+
+// path maps a key to its on-disk file. Keys are hex digests, so the
+// name needs no escaping.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

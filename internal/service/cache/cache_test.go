@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// entry builds a minimal test entry.
+func entry(key, hash, summary string) *Entry {
+	return &Entry{
+		Key:         key,
+		Bench:       "SSSP",
+		KeyJSON:     json.RawMessage(`{"bench":"SSSP"}`),
+		SummaryHash: hash,
+		Summary:     json.RawMessage(summary),
+		Result:      json.RawMessage(`{"Benchmark":"SSSP"}`),
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	c := New()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := entry("k", "h1", `{"wall_cycles":42}`)
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if string(got.Summary) != `{"wall_cycles":42}` {
+		t.Fatalf("summary bytes changed: %s", got.Summary)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestPutConflict pins the determinism guard: same key, different
+// summary hash must be refused, while a same-hash replacement (artifact
+// upgrade) must succeed.
+func TestPutConflict(t *testing.T) {
+	c := New()
+	if err := c.Put(entry("k", "h1", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Put(entry("k", "h2", `{}`))
+	if !errors.Is(err, ErrHashConflict) {
+		t.Fatalf("conflicting Put error = %v, want ErrHashConflict", err)
+	}
+	up := entry("k", "h1", `{}`)
+	up.HasTimeline = true
+	if err := c.Put(up); err != nil {
+		t.Fatalf("same-hash upgrade refused: %v", err)
+	}
+	got, _ := c.Get("k")
+	if !got.HasTimeline {
+		t.Fatal("upgrade did not replace the entry")
+	}
+}
+
+// TestDiskSurvivesRestart is the restart contract: a second Cache over
+// the same directory serves the first one's entries byte-identically.
+func TestDiskSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry("deadbeef", "h1", `{"wall_cycles":7,"sim_steps":9}`)
+	if err := c1.Put(want); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c2.Len(); n != 1 {
+		t.Fatalf("restarted cache Len = %d, want 1", n)
+	}
+	got, ok := c2.Get("deadbeef")
+	if !ok {
+		t.Fatal("restarted cache missed a persisted entry")
+	}
+	if string(got.Summary) != string(want.Summary) {
+		t.Fatalf("persisted summary bytes differ: %s != %s", got.Summary, want.Summary)
+	}
+	if got.SummaryHash != "h1" || got.Bench != "SSSP" {
+		t.Fatalf("persisted entry fields differ: %+v", got)
+	}
+
+	// The restart must also still enforce the hash-conflict guard
+	// against disk entries memory has not loaded.
+	c3, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Put(entry("deadbeef", "other", `{}`)); !errors.Is(err, ErrHashConflict) {
+		t.Fatalf("disk conflict error = %v, want ErrHashConflict", err)
+	}
+}
+
+// TestCorruptDiskEntryIsMiss checks a truncated or garbage file demotes
+// to a miss instead of an error or a bogus hit.
+func TestCorruptDiskEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "abc123.json"), []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("abc123"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// A Put over the corrupt file repairs it.
+	if err := c.Put(entry("abc123", "h1", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("abc123"); !ok {
+		t.Fatal("repaired entry not served")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	e := &Entry{HasTimeline: true}
+	cases := []struct {
+		timeline, profile, want bool
+	}{
+		{false, false, true},
+		{true, false, true},
+		{false, true, false},
+		{true, true, false},
+	}
+	for _, tc := range cases {
+		if got := e.Covers(tc.timeline, tc.profile); got != tc.want {
+			t.Errorf("Covers(%v,%v) = %v, want %v", tc.timeline, tc.profile, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentAccess exercises the mutex contract under -race.
+func TestConcurrentAccess(t *testing.T) {
+	c, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				key := string(rune('a' + j%4))
+				_ = c.Put(entry(key, "h", `{}`))
+				c.Get(key)
+				c.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := c.Len(); n != 4 {
+		t.Fatalf("Len = %d, want 4", n)
+	}
+}

@@ -1,0 +1,35 @@
+// Package service is minnowd: a long-running, sharded simulation
+// service in front of the Minnow simulator. Clients POST simulation
+// jobs (a benchmark name plus a minnow.Config JSON) to an HTTP API; a
+// priority queue feeds a pool of worker shards that execute each job
+// through the same harness.RunJobs machinery the batch sweep tools use
+// (minnow.RunMany with panic isolation, the PR 3 watchdog bounding
+// runaway simulations via Config.MaxCycles); finished results land in a
+// content-addressed cache (see the cache subpackage) keyed by a
+// canonical hash of the validated configuration, so identical
+// submissions — whether a repeated curl or a million-cell sweep with
+// duplicate configurations — simulate exactly once.
+//
+// Determinism contract: every Minnow run is bit-reproducible — the
+// same validated Config always produces the same stats.RunSummary and
+// SummaryHash — which is what makes caching sound: a cache hit returns
+// the stored RunSummary byte-identical to what a cold run would
+// produce. CacheKey canonicalizes the configuration first (defaults
+// resolved, host-only and observe-only knobs excluded; the rules are
+// documented on CacheKey and in docs/SERVICE.md), and the cache refuses
+// to overwrite an entry with a different SummaryHash, so a determinism
+// regression surfaces as an explicit conflict instead of silently
+// corrupting results.
+//
+// Concurrency contract: Server state (queue, job table, singleflight
+// registry, metrics counters) is guarded by one mutex; simulations run
+// outside it on the worker shards. Concurrent duplicate submissions
+// coalesce onto the single in-flight execution of their key
+// (singleflight) rather than queueing a second simulation. Progress
+// fan-out (the /jobs/{id}/stream SSE feed) consumes the simulator's
+// OnSample callback, which fires on the simulation goroutine: the
+// publisher only copies the sample under the lock and never blocks on
+// slow subscribers (each subscriber channel is buffered and lossy), so
+// streaming cannot stall or perturb a simulation. Shutdown drains:
+// accepted jobs finish, new submissions are refused with 503.
+package service

@@ -1,0 +1,306 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"minnow"
+)
+
+// ConfigSpec is the JSON-serializable mirror of minnow.Config accepted
+// by POST /jobs: field names match minnow.Config exactly, so any JSON
+// document that unmarshals into minnow.Config unmarshals identically
+// here. The two non-data fields (CustomPrefetch and OnSample, Go
+// function hooks) are not expressible in JSON and are therefore absent;
+// everything else round-trips. See minnow.Config for per-field
+// semantics.
+type ConfigSpec struct {
+	// Threads is the simulated core count (0 = default 8).
+	Threads int `json:",omitempty"`
+	// Scale multiplies the default input sizes (0 = default 1).
+	Scale int `json:",omitempty"`
+	// Seed drives the graph generators (0 = default 42).
+	Seed uint64 `json:",omitempty"`
+	// Minnow attaches a Minnow engine to every core.
+	Minnow bool `json:",omitempty"`
+	// Prefetch enables worklist-directed prefetching (requires Minnow).
+	Prefetch bool `json:",omitempty"`
+	// Credits sets the prefetch credit pool (0 = default 32).
+	Credits int `json:",omitempty"`
+	// Scheduler picks the software worklist when Minnow is false.
+	Scheduler string `json:",omitempty"`
+	// LgInterval overrides the OBIM/Minnow bucket interval (log2); null
+	// uses each benchmark's tuned default.
+	LgInterval *uint `json:",omitempty"`
+	// HWPrefetcher attaches a baseline hardware prefetcher.
+	HWPrefetcher string `json:",omitempty"`
+	// SplitThreshold breaks tasks with more edges into subtasks.
+	SplitThreshold int32 `json:",omitempty"`
+	// WorkBudget aborts runs after this many operator applications.
+	WorkBudget int64 `json:",omitempty"`
+	// Serial elides atomics (the optimized 1-thread serial baseline).
+	Serial bool `json:",omitempty"`
+	// MemChannels sets the DRAM channel count (0 = default 12).
+	MemChannels int `json:",omitempty"`
+	// PerfectBP idealizes branch prediction (Fig. 4 mode).
+	PerfectBP bool `json:",omitempty"`
+	// NoFences elides memory fences (Fig. 4 mode).
+	NoFences bool `json:",omitempty"`
+	// SkipVerify disables the post-run reference check.
+	SkipVerify bool `json:",omitempty"`
+	// TraceEvents records the last N Minnow engine events.
+	TraceEvents int `json:",omitempty"`
+	// MetricsEvery samples time-series metrics every N simulated cycles
+	// — also the /jobs/{id}/stream event cadence.
+	MetricsEvery int64 `json:",omitempty"`
+	// Timeline requests the Perfetto timeline artifact.
+	Timeline bool `json:",omitempty"`
+	// Profile requests the cycle-attribution profile artifacts.
+	Profile bool `json:",omitempty"`
+	// Faults arms the deterministic fault-injection plan.
+	Faults string `json:",omitempty"`
+	// Invariants enables runtime invariant checking and the watchdog.
+	Invariants bool `json:",omitempty"`
+	// MaxCycles halts runs past this simulated-cycle bound (the per-job
+	// timeout; 0 adopts the server's -job-max-cycles default).
+	MaxCycles int64 `json:",omitempty"`
+	// IntraJobs selects bound/weave workers inside the simulation (0
+	// adopts the server's -intra-jobs default; output is byte-identical
+	// for every value).
+	IntraJobs int `json:",omitempty"`
+	// EpochWindow sets the bound/weave epoch length in cycles.
+	EpochWindow int64 `json:",omitempty"`
+	// SharedHorizons enables conservative-lookahead horizons.
+	SharedHorizons bool `json:",omitempty"`
+}
+
+// ToConfig converts the wire form to the simulator's configuration.
+func (c ConfigSpec) ToConfig() minnow.Config {
+	return minnow.Config{
+		Threads:        c.Threads,
+		Scale:          c.Scale,
+		Seed:           c.Seed,
+		Minnow:         c.Minnow,
+		Prefetch:       c.Prefetch,
+		Credits:        c.Credits,
+		Scheduler:      c.Scheduler,
+		LgInterval:     c.LgInterval,
+		HWPrefetcher:   c.HWPrefetcher,
+		SplitThreshold: c.SplitThreshold,
+		WorkBudget:     c.WorkBudget,
+		Serial:         c.Serial,
+		MemChannels:    c.MemChannels,
+		PerfectBP:      c.PerfectBP,
+		NoFences:       c.NoFences,
+		SkipVerify:     c.SkipVerify,
+		TraceEvents:    c.TraceEvents,
+		MetricsEvery:   c.MetricsEvery,
+		Timeline:       c.Timeline,
+		Profile:        c.Profile,
+		Faults:         c.Faults,
+		Invariants:     c.Invariants,
+		MaxCycles:      c.MaxCycles,
+		IntraJobs:      c.IntraJobs,
+		EpochWindow:    c.EpochWindow,
+		SharedHorizons: c.SharedHorizons,
+	}
+}
+
+// JobSpec is the POST /jobs request body.
+type JobSpec struct {
+	// Bench names the benchmark to simulate (minnow.Benchmarks()).
+	Bench string `json:"bench"`
+	// Config is the simulation configuration (minnow.Config JSON).
+	Config ConfigSpec `json:"config"`
+	// Priority orders the queue: higher runs first; equal priorities run
+	// in submission order. Default 0.
+	Priority int `json:"priority,omitempty"`
+}
+
+// keyDoc is the canonical cache-key document: the semantically
+// significant subset of a validated configuration, defaults resolved,
+// in a fixed field order. Its JSON is hashed into the cache key, and
+// stored alongside entries as the debuggable "what question does this
+// entry answer" record. V guards the schema: any change to the
+// canonicalization rules must bump it, which invalidates (re-keys)
+// every existing cache entry rather than serving stale answers.
+type keyDoc struct {
+	// V is the key schema version.
+	V int `json:"v"`
+	// Bench is the exact benchmark name.
+	Bench string `json:"bench"`
+	// Threads is the resolved simulated core count.
+	Threads int `json:"threads"`
+	// Scale is the resolved input scale.
+	Scale int `json:"scale"`
+	// Seed is the resolved generator seed.
+	Seed uint64 `json:"seed"`
+	// Scheduler is the resolved worklist policy ("minnow" when the
+	// engine owns the worklist).
+	Scheduler string `json:"scheduler"`
+	// Prefetch mirrors Config.Prefetch.
+	Prefetch bool `json:"prefetch"`
+	// Credits is the resolved prefetch credit pool.
+	Credits int `json:"credits"`
+	// LgInterval is the bucket-interval override, -1 when unset (the
+	// benchmark's tuned default applies).
+	LgInterval int `json:"lg_interval"`
+	// HWPrefetcher mirrors Config.HWPrefetcher.
+	HWPrefetcher string `json:"hw_prefetcher"`
+	// SplitThreshold mirrors Config.SplitThreshold.
+	SplitThreshold int32 `json:"split_threshold"`
+	// WorkBudget mirrors Config.WorkBudget.
+	WorkBudget int64 `json:"work_budget"`
+	// Serial mirrors Config.Serial.
+	Serial bool `json:"serial"`
+	// MemChannels is the resolved DRAM channel count.
+	MemChannels int `json:"mem_channels"`
+	// PerfectBP mirrors Config.PerfectBP.
+	PerfectBP bool `json:"perfect_bp"`
+	// NoFences mirrors Config.NoFences.
+	NoFences bool `json:"no_fences"`
+	// Faults is the fault-plan expression (seed included), verbatim.
+	Faults string `json:"faults"`
+	// Invariants mirrors Config.Invariants.
+	Invariants bool `json:"invariants"`
+	// MaxCycles is the resolved watchdog cycle bound (after the server's
+	// default is applied), since it can change a run's outcome.
+	MaxCycles int64 `json:"max_cycles"`
+	// SharedHorizons mirrors Config.SharedHorizons: it changes the step
+	// schedule, so it keys separately.
+	SharedHorizons bool `json:"shared_horizons"`
+}
+
+// CacheKey computes the content-address of a validated configuration:
+// the sha256 of the canonical key document, plus the document itself.
+//
+// Canonicalization rules (documented for clients in docs/SERVICE.md):
+//
+//   - Defaults are resolved first: Threads 0→8, Scale 0→1, Seed 0→42,
+//     Credits 0→32, MemChannels 0→12, and Scheduler ""→"obim" ("minnow"
+//     whenever Config.Minnow is set), so an explicit default and an
+//     omitted field address the same entry.
+//   - Host-only knobs are excluded: IntraJobs and EpochWindow carry the
+//     bound/weave engine's byte-identical-output guarantee, so they can
+//     never change a result.
+//   - Observe-only knobs are excluded: TraceEvents, MetricsEvery,
+//     Timeline, and Profile are provably inert on the RunSummary (the
+//     obs test suites pin it). Artifact-bearing requests that miss an
+//     artifact-less entry re-simulate and upgrade the entry in place,
+//     hash-checked.
+//   - SkipVerify is excluded: it only affects whether a failed
+//     verification surfaces as an error, and errors are never cached.
+//   - Everything else — including Faults (its plan seed included),
+//     MaxCycles, and SharedHorizons — participates, because each can
+//     change the deterministic outcome.
+func CacheKey(bench string, cfg minnow.Config) (key string, doc []byte) {
+	d := keyDoc{
+		V:     1,
+		Bench: bench,
+
+		Threads:        resolve(cfg.Threads, 8),
+		Scale:          resolve(cfg.Scale, 1),
+		Seed:           cfg.Seed,
+		Scheduler:      cfg.Scheduler,
+		Prefetch:       cfg.Prefetch,
+		Credits:        resolve(cfg.Credits, 32),
+		LgInterval:     -1,
+		HWPrefetcher:   cfg.HWPrefetcher,
+		SplitThreshold: cfg.SplitThreshold,
+		WorkBudget:     cfg.WorkBudget,
+		Serial:         cfg.Serial,
+		MemChannels:    resolve(cfg.MemChannels, 12),
+		PerfectBP:      cfg.PerfectBP,
+		NoFences:       cfg.NoFences,
+		Faults:         cfg.Faults,
+		Invariants:     cfg.Invariants,
+		MaxCycles:      cfg.MaxCycles,
+		SharedHorizons: cfg.SharedHorizons,
+	}
+	if d.Seed == 0 {
+		d.Seed = 42
+	}
+	if cfg.Minnow {
+		d.Scheduler = "minnow"
+	} else if d.Scheduler == "" {
+		d.Scheduler = "obim"
+	}
+	if cfg.LgInterval != nil {
+		d.LgInterval = int(*cfg.LgInterval)
+	}
+	doc, err := json.Marshal(d)
+	if err != nil {
+		// keyDoc contains only plain data types; Marshal cannot fail.
+		panic("service: cache key marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), doc
+}
+
+// resolve substitutes the documented default for a zero-valued knob.
+func resolve(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Job statuses reported by the API. Lifecycle: queued → running →
+// done | failed; canceled replaces queued when the server shuts down
+// before execution. Cache hits are born done.
+const (
+	// StatusQueued marks a job waiting for a worker shard.
+	StatusQueued = "queued"
+	// StatusRunning marks a job currently simulating (or coalesced onto
+	// a simulating primary).
+	StatusRunning = "running"
+	// StatusDone marks a job whose result is available.
+	StatusDone = "done"
+	// StatusFailed marks a job whose simulation errored; the Error field
+	// carries the message.
+	StatusFailed = "failed"
+	// StatusCanceled marks a job abandoned by shutdown before it ran.
+	StatusCanceled = "canceled"
+)
+
+// JobView is the API representation of a job (POST /jobs and
+// GET /jobs/{id} responses).
+type JobView struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// Bench is the benchmark name.
+	Bench string `json:"bench"`
+	// Key is the content-address of the job's canonical configuration.
+	Key string `json:"key"`
+	// Status is one of the Status* constants.
+	Status string `json:"status"`
+	// Cached reports the result was served from the cache (or coalesced
+	// onto another job's simulation) instead of a fresh simulation.
+	Cached bool `json:"cached"`
+	// Coalesced reports this job attached to an identical in-flight
+	// submission (singleflight) rather than hitting the stored cache.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Priority echoes the submitted queue priority.
+	Priority int `json:"priority,omitempty"`
+	// Error carries the failure message when Status is "failed".
+	Error string `json:"error,omitempty"`
+	// SummaryHash is the run's deterministic fingerprint (set when done).
+	SummaryHash string `json:"summary_hash,omitempty"`
+	// Summary is the canonical stats.RunSummary JSON (set when done),
+	// byte-identical between cache hits and cold runs.
+	Summary json.RawMessage `json:"summary,omitempty"`
+	// Result is the full minnow.Result JSON including artifacts,
+	// included only when the request asked for it (?full=1).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ProgressEvent is one /jobs/{id}/stream server-sent event payload: an
+// interval-metrics sample republished from the simulator's OnSample
+// probe.
+type ProgressEvent struct {
+	// Cycles is the simulated cycle stamp of the crossed sample boundary.
+	Cycles int64 `json:"cycles"`
+	// Metrics is the sample in Prometheus text exposition format.
+	Metrics string `json:"metrics"`
+}

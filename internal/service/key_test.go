@@ -1,0 +1,118 @@
+package service
+
+import (
+	"container/heap"
+	"encoding/json"
+	"testing"
+
+	"minnow"
+)
+
+// TestCacheKeyDefaultResolution pins the canonicalization rule that an
+// omitted knob and its explicit documented default address the same
+// cache entry.
+func TestCacheKeyDefaultResolution(t *testing.T) {
+	k1, _ := CacheKey("SSSP", minnow.Config{})
+	k2, _ := CacheKey("SSSP", minnow.Config{Threads: 8, Scale: 1, Seed: 42, Credits: 32, MemChannels: 12, Scheduler: "obim"})
+	if k1 != k2 {
+		t.Fatalf("zero config and explicit defaults key differently: %s != %s", k1, k2)
+	}
+	k3, _ := CacheKey("SSSP", minnow.Config{Threads: 16})
+	if k3 == k1 {
+		t.Fatal("non-default Threads did not change the key")
+	}
+}
+
+// TestCacheKeyExclusions pins which knobs are excluded: host-only
+// (IntraJobs/EpochWindow) and observe-only (TraceEvents, MetricsEvery,
+// Timeline, Profile) fields must not fragment the cache, while
+// outcome-affecting fields must key separately.
+func TestCacheKeyExclusions(t *testing.T) {
+	base, _ := CacheKey("BFS", minnow.Config{Minnow: true, Prefetch: true})
+	same := []minnow.Config{
+		{Minnow: true, Prefetch: true, IntraJobs: 4},
+		{Minnow: true, Prefetch: true, IntraJobs: 2, EpochWindow: 1024},
+		{Minnow: true, Prefetch: true, TraceEvents: 64},
+		{Minnow: true, Prefetch: true, MetricsEvery: 10000},
+		{Minnow: true, Prefetch: true, Timeline: true},
+		{Minnow: true, Prefetch: true, Profile: true},
+		{Minnow: true, Prefetch: true, SkipVerify: true},
+	}
+	for i, cfg := range same {
+		if k, _ := CacheKey("BFS", cfg); k != base {
+			t.Errorf("case %d: inert knob changed the key", i)
+		}
+	}
+	diff := []minnow.Config{
+		{Minnow: true, Prefetch: true, Seed: 7},
+		{Minnow: true, Prefetch: true, MaxCycles: 1 << 20},
+		{Minnow: true, Prefetch: true, SharedHorizons: true},
+		{Minnow: true, Prefetch: true, Faults: "transient"},
+		{Minnow: true, Prefetch: true, Invariants: true},
+		{Minnow: true},
+	}
+	for i, cfg := range diff {
+		if k, _ := CacheKey("BFS", cfg); k == base {
+			t.Errorf("case %d: outcome-affecting knob did not change the key", i)
+		}
+	}
+	if k, _ := CacheKey("CC", minnow.Config{Minnow: true, Prefetch: true}); k == base {
+		t.Error("benchmark name did not change the key")
+	}
+}
+
+// TestCacheKeySchedulerResolution pins that Minnow ownership and the
+// default software scheduler resolve before hashing.
+func TestCacheKeySchedulerResolution(t *testing.T) {
+	a, _ := CacheKey("SSSP", minnow.Config{Minnow: true})
+	b, _ := CacheKey("SSSP", minnow.Config{Minnow: true, Scheduler: "minnow"})
+	if a != b {
+		t.Fatal("Minnow with implicit and explicit scheduler key differently")
+	}
+	c, _ := CacheKey("SSSP", minnow.Config{Scheduler: "obim"})
+	d, _ := CacheKey("SSSP", minnow.Config{})
+	if c != d {
+		t.Fatal("default software scheduler keys differently from explicit obim")
+	}
+	if a == c {
+		t.Fatal("minnow and obim schedulers share a key")
+	}
+}
+
+// TestCacheKeyDocRoundTrips checks the canonical document is valid JSON
+// carrying the resolved values (the debuggable form stored in entries).
+func TestCacheKeyDocRoundTrips(t *testing.T) {
+	lg := uint(3)
+	_, doc := CacheKey("SSSP", minnow.Config{LgInterval: &lg})
+	var m map[string]any
+	if err := json.Unmarshal(doc, &m); err != nil {
+		t.Fatalf("key doc is not JSON: %v", err)
+	}
+	if m["threads"] != float64(8) || m["lg_interval"] != float64(3) || m["v"] != float64(1) {
+		t.Fatalf("key doc fields not resolved: %v", m)
+	}
+}
+
+// TestJobQueueOrder pins the priority heap: higher priority first,
+// submission order within a level.
+func TestJobQueueOrder(t *testing.T) {
+	q := &jobQueue{}
+	for _, j := range []*job{
+		{priority: 0, seq: 1},
+		{priority: 5, seq: 2},
+		{priority: 0, seq: 3},
+		{priority: 5, seq: 4},
+	} {
+		heap.Push(q, j)
+	}
+	var got []int64
+	for q.Len() > 0 {
+		got = append(got, heap.Pop(q).(*job).seq)
+	}
+	want := []int64{2, 4, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}

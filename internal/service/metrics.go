@@ -1,0 +1,93 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// counters aggregates the server's operational metrics. All fields are
+// guarded by Server.mu; MetricsText snapshots them under the lock.
+type counters struct {
+	submitted int64 // jobs accepted (all paths)
+	sims      int64 // simulations actually started (cache misses)
+	hits      int64 // submissions served from the stored cache
+	coalesced int64 // submissions coalesced onto an in-flight duplicate
+	conflicts int64 // cache Put refusals: summary-hash conflicts (should stay 0)
+
+	done     int64 // jobs finished successfully
+	failed   int64 // jobs whose simulation errored
+	canceled int64 // jobs abandoned by shutdown
+
+	latencySum   time.Duration // total submit→terminal sojourn
+	latencyCount int64         // terminal jobs observed
+	latencyMax   time.Duration // worst sojourn seen
+}
+
+// observe records one job reaching a terminal status after the given
+// submit→terminal sojourn.
+func (m *counters) observe(status string, d time.Duration) {
+	switch status {
+	case StatusDone:
+		m.done++
+	case StatusFailed:
+		m.failed++
+	case StatusCanceled:
+		m.canceled++
+	}
+	m.latencySum += d
+	m.latencyCount++
+	if d > m.latencyMax {
+		m.latencyMax = d
+	}
+}
+
+// MetricsText renders the server's operational metrics in the
+// Prometheus text exposition format: queue depth, worker utilization,
+// cache effectiveness, job throughput and latency. It is served on the
+// API's /metrics endpoint and can be registered onto a live inspector
+// (inspect.Server.Register) so one scrape covers the simulation's
+// interval registry and the service together.
+func (s *Server) MetricsText() string {
+	s.mu.Lock()
+	m := s.m
+	depth := s.queue.Len()
+	busy := s.busy
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	gauge("minnowd_queue_depth", "Jobs queued and not yet running.", depth)
+	gauge("minnowd_workers", "Worker shards (concurrent simulations).", s.shards)
+	gauge("minnowd_workers_busy", "Worker shards currently simulating.", busy)
+	gauge("minnowd_cache_entries", "Entries the result cache can serve.", s.cache.Len())
+
+	counter("minnowd_jobs_submitted_total", "Jobs accepted for execution or cache service.", m.submitted)
+	fmt.Fprintf(&b, "# HELP minnowd_jobs_total Jobs by terminal status.\n# TYPE minnowd_jobs_total counter\n")
+	fmt.Fprintf(&b, "minnowd_jobs_total{status=\"done\"} %d\n", m.done)
+	fmt.Fprintf(&b, "minnowd_jobs_total{status=\"failed\"} %d\n", m.failed)
+	fmt.Fprintf(&b, "minnowd_jobs_total{status=\"canceled\"} %d\n", m.canceled)
+
+	counter("minnowd_sims_total", "Simulations executed (cache misses).", m.sims)
+	counter("minnowd_cache_hits_total", "Submissions served from the stored cache.", m.hits)
+	counter("minnowd_cache_coalesced_total", "Submissions coalesced onto an identical in-flight run (singleflight).", m.coalesced)
+	counter("minnowd_cache_conflicts_total", "Cache writes refused for a summary-hash conflict (determinism violations; must stay 0).", m.conflicts)
+	dedup := m.hits + m.coalesced
+	ratio := 0.0
+	if dedup+m.sims > 0 {
+		ratio = float64(dedup) / float64(dedup+m.sims)
+	}
+	gauge("minnowd_cache_hit_ratio", "Deduplicated share of resolved submissions: (hits+coalesced)/(hits+coalesced+sims).", fmt.Sprintf("%.6f", ratio))
+
+	fmt.Fprintf(&b, "# HELP minnowd_job_seconds Submit-to-terminal job sojourn time.\n# TYPE minnowd_job_seconds summary\n")
+	fmt.Fprintf(&b, "minnowd_job_seconds_sum %.6f\n", m.latencySum.Seconds())
+	fmt.Fprintf(&b, "minnowd_job_seconds_count %d\n", m.latencyCount)
+	gauge("minnowd_job_seconds_max", "Worst submit-to-terminal sojourn seen.", fmt.Sprintf("%.6f", m.latencyMax.Seconds()))
+	return b.String()
+}

@@ -1,0 +1,490 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"minnow"
+	"minnow/internal/service/cache"
+)
+
+// Config parameterizes a Server. The zero value is a working
+// memory-cached server sized by minnow.SplitBudget.
+type Config struct {
+	// Shards is the worker pool width: how many simulations run
+	// concurrently. 0 resolves via minnow.SplitBudget against IntraJobs
+	// so shards × intra-jobs roughly fills the machine.
+	Shards int
+	// IntraJobs is applied to submitted configs that leave IntraJobs 0:
+	// bound/weave workers inside each simulation. Host-only — never
+	// changes results or cache keys.
+	IntraJobs int
+	// CacheDir persists the result cache under this directory so it
+	// survives restarts; "" keeps the cache in memory only.
+	CacheDir string
+	// QueueLimit bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are refused with 429. 0 selects 65536.
+	QueueLimit int
+	// MaxCycles is applied to submitted configs that leave MaxCycles 0:
+	// the per-job timeout, enforced by the simulator's watchdog (a run
+	// whose simulated clock passes the bound halts with a diagnostic
+	// error instead of occupying a shard forever). 0 leaves the
+	// simulator's own large default in place.
+	MaxCycles int64
+	// ProgressEvery is applied to submitted configs that leave
+	// MetricsEvery 0: the interval-metrics sampling cadence in simulated
+	// cycles, which is also what feeds /jobs/{id}/stream. Observe-only —
+	// never changes results or cache keys. 0 leaves sampling off for
+	// jobs that did not ask for it.
+	ProgressEvery int64
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id       string
+	bench    string
+	cfg      minnow.Config
+	key      string
+	keyJSON  []byte
+	priority int
+	seq      int64
+
+	status    string
+	cached    bool
+	coalesced bool
+	errMsg    string
+	entry     *cache.Entry
+
+	queuedAt time.Time
+	doneAt   time.Time
+
+	// primary, when non-nil, is the in-flight job this submission
+	// coalesced onto (singleflight follower).
+	primary *job
+	// followers are coalesced duplicates finalized with this job's
+	// outcome (primary only).
+	followers []*job
+	// subs are live stream subscribers (primary only; followers
+	// subscribe through primary).
+	subs []chan ProgressEvent
+	// lastSample is replayed to late stream subscribers so a slow client
+	// still sees where the run is.
+	lastSample *ProgressEvent
+	// done is closed when the job reaches a terminal status.
+	done chan struct{}
+}
+
+// jobQueue is the pending-job priority heap: higher Priority first,
+// submission order within a priority level.
+type jobQueue []*job
+
+// Len reports the number of queued jobs (container/heap interface).
+func (q jobQueue) Len() int { return len(q) }
+
+// Less orders the heap: higher priority first, then submission order.
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+// Swap exchanges two queue slots (container/heap interface).
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push appends a job for heap.Push (container/heap interface).
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*job)) }
+
+// Pop removes and returns the last slot for heap.Pop (container/heap
+// interface).
+func (q *jobQueue) Pop() any { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+
+// Server is one minnowd instance: HTTP façade, priority queue, worker
+// shards, and the content-addressed result cache.
+type Server struct {
+	cfg    Config
+	shards int
+	cache  *cache.Cache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*job // by ID
+	inflight map[string]*job // singleflight: key → queued/running primary
+	seq      int64
+	busy     int
+	draining bool
+	m        counters
+
+	wg sync.WaitGroup // worker shards
+}
+
+// New builds a Server, opens (or creates) the disk cache when
+// Config.CacheDir is set, and starts the worker shards. Callers serve
+// its Handler and eventually call Shutdown.
+func New(cfg Config) (*Server, error) {
+	shards, intra := minnow.SplitBudget(cfg.Shards, cfg.IntraJobs)
+	cfg.IntraJobs = intra
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 65536
+	}
+	s := &Server{
+		cfg:      cfg,
+		shards:   shards,
+		cache:    cache.New(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	if cfg.CacheDir != "" {
+		c, err := cache.NewDisk(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.cache = c
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < shards; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Shards returns the worker pool width the server resolved at startup.
+func (s *Server) Shards() int { return s.shards }
+
+// Cache exposes the result store (tests and operators inspect it).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Shutdown drains the server: new submissions are refused with 503,
+// worker shards finish every already-accepted job (queued and running),
+// then exit. If ctx expires first, still-queued jobs are canceled and
+// ctx's error is returned; jobs mid-simulation cannot be interrupted
+// beyond their watchdog bound.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() { s.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for s.queue.Len() > 0 {
+			j := heap.Pop(&s.queue).(*job)
+			s.finalizeLocked(j, StatusCanceled, nil, "service: canceled by shutdown")
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Submit validates and registers one job, returning its API view. The
+// fast paths — validation failure, cache hit, singleflight coalesce —
+// never touch the queue.
+func (s *Server) Submit(spec JobSpec) (JobView, error) {
+	if !slices.Contains(minnow.Benchmarks(), spec.Bench) {
+		return JobView{}, &RequestError{Code: 400, Msg: fmt.Sprintf("service: Bench: unknown benchmark %q (have %v)", spec.Bench, minnow.Benchmarks())}
+	}
+	cfg := spec.Config.ToConfig()
+	// Server-side defaults: the per-job watchdog timeout participates in
+	// the cache key (it can change outcomes), so it is resolved before
+	// hashing; the sampling cadence and bound/weave width are inert and
+	// resolved purely for operational quality.
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = s.cfg.MaxCycles
+	}
+	if cfg.MetricsEvery == 0 {
+		cfg.MetricsEvery = s.cfg.ProgressEvery
+	}
+	if cfg.IntraJobs == 0 {
+		cfg.IntraJobs = s.cfg.IntraJobs
+	}
+	if err := cfg.Validate(); err != nil {
+		return JobView{}, &RequestError{Code: 400, Msg: err.Error()}
+	}
+	key, keyJSON := CacheKey(spec.Bench, cfg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, &RequestError{Code: 503, Msg: "service: draining, not accepting jobs"}
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("j-%d", s.seq),
+		bench:    spec.Bench,
+		cfg:      cfg,
+		key:      key,
+		keyJSON:  keyJSON,
+		priority: spec.Priority,
+		seq:      s.seq,
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.m.submitted++
+
+	// Cache hit: born done, no simulation.
+	if e, ok := s.cache.Get(key); ok && e.Covers(cfg.Timeline, cfg.Profile) {
+		s.m.hits++
+		j.cached = true
+		s.finalizeLocked(j, StatusDone, e, "")
+		return s.viewLocked(j, false), nil
+	}
+	// Singleflight: an identical submission is already queued or
+	// running; attach to it instead of simulating twice. The primary
+	// must cover this job's artifact needs — a timeline-requesting
+	// duplicate of a timeline-less run simulates separately (and
+	// upgrades the cache entry it shares).
+	if p, ok := s.inflight[key]; ok && p.cfg.Timeline == cfg.Timeline && p.cfg.Profile == cfg.Profile {
+		s.m.coalesced++
+		j.coalesced, j.cached = true, true
+		j.primary = p
+		j.status = p.status
+		p.followers = append(p.followers, j)
+		return s.viewLocked(j, false), nil
+	}
+
+	if s.queue.Len() >= s.cfg.QueueLimit {
+		delete(s.jobs, j.id)
+		s.m.submitted--
+		return JobView{}, &RequestError{Code: 429, Msg: fmt.Sprintf("service: queue full (%d jobs)", s.queue.Len())}
+	}
+	j.status = StatusQueued
+	s.inflight[key] = j
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	return s.viewLocked(j, false), nil
+}
+
+// Job returns the API view of one job; full includes the complete
+// minnow.Result JSON (artifacts and all).
+func (s *Server) Job(id string, full bool) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.viewLocked(j, full), true
+}
+
+// Jobs lists every job's view (no results), newest first.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.viewLocked(j, false))
+	}
+	slices.SortFunc(out, func(a, b JobView) int {
+		if a.ID == b.ID {
+			return 0
+		}
+		if len(a.ID) != len(b.ID) { // j-2 < j-10
+			return len(b.ID) - len(a.ID)
+		}
+		if a.ID < b.ID {
+			return 1
+		}
+		return -1
+	})
+	return out
+}
+
+// Subscribe attaches a progress listener to a job's stream, replaying
+// the most recent sample first. The returned channel is closed when the
+// job completes (terminal status) or cancel is called; it is buffered
+// and lossy — a slow reader misses samples, never stalls the simulation.
+// ok is false for unknown job IDs.
+func (s *Server) Subscribe(id string) (ch <-chan ProgressEvent, done <-chan struct{}, cancel func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, found := s.jobs[id]
+	if !found {
+		return nil, nil, nil, false
+	}
+	target := j
+	if j.primary != nil {
+		target = j.primary
+	}
+	c := make(chan ProgressEvent, 16)
+	if target.lastSample != nil {
+		c <- *target.lastSample
+	}
+	if target.status == StatusDone || target.status == StatusFailed || target.status == StatusCanceled {
+		close(c)
+		return c, j.done, func() {}, true
+	}
+	target.subs = append(target.subs, c)
+	cancel = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, sub := range target.subs {
+			if sub == c {
+				target.subs = append(target.subs[:i], target.subs[i+1:]...)
+				close(c)
+				break
+			}
+		}
+	}
+	return c, j.done, cancel, true
+}
+
+// worker is one shard: it pulls the highest-priority queued job and
+// simulates it, until shutdown drains the queue.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		j.status = StatusRunning
+		for _, f := range j.followers {
+			f.status = StatusRunning
+		}
+		s.busy++
+		s.m.sims++
+		s.mu.Unlock()
+
+		s.execute(j)
+
+		s.mu.Lock()
+		s.busy--
+		s.mu.Unlock()
+	}
+}
+
+// execute runs one primary job through minnow.RunMany — the same
+// harness.RunJobs worker machinery the sweep tools use, so a panicking
+// simulation becomes a per-job error with a stack trace instead of
+// killing the shard — then caches and finalizes.
+func (s *Server) execute(j *job) {
+	cfg := j.cfg
+	if cfg.MetricsEvery > 0 {
+		cfg.OnSample = func(cycles int64, metrics string) {
+			s.publish(j, ProgressEvent{Cycles: cycles, Metrics: metrics})
+		}
+	}
+	res := minnow.RunMany([]minnow.RunRequest{{Benchmark: j.bench, Config: cfg}}, 1)[0]
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res.Err != nil {
+		s.finalizeLocked(j, StatusFailed, nil, res.Err.Error())
+		return
+	}
+	resultJSON, err := json.Marshal(res.Result)
+	if err != nil {
+		s.finalizeLocked(j, StatusFailed, nil, "service: marshal result: "+err.Error())
+		return
+	}
+	e := &cache.Entry{
+		Key:         j.key,
+		Bench:       j.bench,
+		KeyJSON:     json.RawMessage(j.keyJSON),
+		SummaryHash: res.Result.SummaryHash,
+		Summary:     json.RawMessage(res.Result.SummaryJSON),
+		Result:      json.RawMessage(resultJSON),
+		HasTimeline: len(res.Result.TimelineJSON) > 0,
+		HasProfile:  res.Result.ProfilePprof != nil || res.Result.Folded != "",
+	}
+	if err := s.cache.Put(e); err != nil {
+		// A hash conflict is a determinism violation: surface it on the
+		// job rather than serving either result silently.
+		s.m.conflicts++
+		s.finalizeLocked(j, StatusFailed, nil, err.Error())
+		return
+	}
+	s.finalizeLocked(j, StatusDone, e, "")
+}
+
+// publish fans one progress sample out to a job's stream subscribers.
+// Runs on the simulation goroutine: copy under the lock, non-blocking
+// sends, nothing else.
+func (s *Server) publish(j *job, ev ProgressEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.lastSample = &ev
+	for _, c := range j.subs {
+		select {
+		case c <- ev:
+		default: // lossy: never stall the simulation on a slow reader
+		}
+	}
+}
+
+// finalizeLocked moves a job (and its coalesced followers) to a
+// terminal status, updates latency metrics, releases the singleflight
+// slot, and closes stream subscriptions. Callers hold s.mu.
+func (s *Server) finalizeLocked(j *job, status string, e *cache.Entry, errMsg string) {
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	all := append([]*job{j}, j.followers...)
+	now := time.Now()
+	for _, x := range all {
+		x.status = status
+		x.entry = e
+		x.errMsg = errMsg
+		x.doneAt = now
+		s.m.observe(status, now.Sub(x.queuedAt))
+		close(x.done)
+	}
+	for _, c := range j.subs {
+		close(c)
+	}
+	j.subs = nil
+}
+
+// viewLocked renders a job's API view. Callers hold s.mu.
+func (s *Server) viewLocked(j *job, full bool) JobView {
+	v := JobView{
+		ID:        j.id,
+		Bench:     j.bench,
+		Key:       j.key,
+		Status:    j.status,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Priority:  j.priority,
+		Error:     j.errMsg,
+	}
+	if j.entry != nil {
+		v.SummaryHash = j.entry.SummaryHash
+		v.Summary = j.entry.Summary
+		if full {
+			v.Result = j.entry.Result
+		}
+	}
+	return v
+}
+
+// RequestError is an API error with its HTTP status code.
+type RequestError struct {
+	// Code is the HTTP status to serve.
+	Code int
+	// Msg is the plain-text body (for validation failures, the
+	// minnow.Config.Validate message verbatim).
+	Msg string
+}
+
+// Error returns the message.
+func (e *RequestError) Error() string { return e.Msg }

@@ -149,58 +149,64 @@ type Config struct {
 // valid — it selects the documented default. Run, RunGraph, and the
 // parallel runners all call this; command-line frontends can call it
 // early to fail fast on bad flags.
+//
+// Error-message contract: every message has the form
+// "minnow: <Field>: <reason>", naming the offending Config field first.
+// These strings surface verbatim in minnowd's HTTP 400 bodies (see
+// docs/SERVICE.md), so clients may dispatch on the field prefix;
+// TestValidateErrorForm pins the exact texts.
 func (c Config) Validate() error {
 	switch {
 	case c.Threads < 0:
-		return fmt.Errorf("minnow: Threads %d is negative (0 selects the default of 8)", c.Threads)
+		return fmt.Errorf("minnow: Threads: %d is negative (0 selects the default of 8)", c.Threads)
 	case c.Threads > 64:
-		return fmt.Errorf("minnow: Threads %d exceeds 64, the coherence directory's sharer-mask width", c.Threads)
+		return fmt.Errorf("minnow: Threads: %d exceeds 64, the coherence directory's sharer-mask width", c.Threads)
 	case c.Scale < 0:
-		return fmt.Errorf("minnow: Scale %d is negative (0 selects the default of 1)", c.Scale)
+		return fmt.Errorf("minnow: Scale: %d is negative (0 selects the default of 1)", c.Scale)
 	case c.Credits < 0:
-		return fmt.Errorf("minnow: Credits %d is negative — the prefetch credit pool needs at least one credit (0 selects the default of 32)", c.Credits)
+		return fmt.Errorf("minnow: Credits: %d is negative — the prefetch credit pool needs at least one credit (0 selects the default of 32)", c.Credits)
 	case c.SplitThreshold < 0:
-		return fmt.Errorf("minnow: SplitThreshold %d is negative (0 disables task splitting)", c.SplitThreshold)
+		return fmt.Errorf("minnow: SplitThreshold: %d is negative (0 disables task splitting)", c.SplitThreshold)
 	case c.WorkBudget < 0:
-		return fmt.Errorf("minnow: WorkBudget %d is negative (0 means unlimited)", c.WorkBudget)
+		return fmt.Errorf("minnow: WorkBudget: %d is negative (0 means unlimited)", c.WorkBudget)
 	case c.MemChannels < 0:
-		return fmt.Errorf("minnow: MemChannels %d is negative (0 selects the default of 12)", c.MemChannels)
+		return fmt.Errorf("minnow: MemChannels: %d is negative (0 selects the default of 12)", c.MemChannels)
 	case c.TraceEvents < 0:
-		return fmt.Errorf("minnow: TraceEvents %d is negative (0 disables event tracing)", c.TraceEvents)
+		return fmt.Errorf("minnow: TraceEvents: %d is negative (0 disables event tracing)", c.TraceEvents)
 	case c.MetricsEvery < 0:
-		return fmt.Errorf("minnow: MetricsEvery %d is negative (0 disables interval sampling)", c.MetricsEvery)
+		return fmt.Errorf("minnow: MetricsEvery: %d is negative (0 disables interval sampling)", c.MetricsEvery)
 	case c.MaxCycles < 0:
-		return fmt.Errorf("minnow: MaxCycles %d is negative (0 selects a large default)", c.MaxCycles)
+		return fmt.Errorf("minnow: MaxCycles: %d is negative (0 selects a large default)", c.MaxCycles)
 	case c.Serial && c.Threads > 1:
-		return fmt.Errorf("minnow: Serial elides atomics and is only sound with one thread (got Threads=%d)", c.Threads)
+		return fmt.Errorf("minnow: Serial: elides atomics and is only sound with one thread (got Threads=%d)", c.Threads)
 	case c.Prefetch && !c.Minnow:
-		return fmt.Errorf("minnow: Prefetch is worklist-directed prefetching and requires Minnow")
+		return fmt.Errorf("minnow: Prefetch: worklist-directed prefetching requires Minnow")
 	case c.CustomPrefetch != nil && (!c.Minnow || !c.Prefetch):
-		return fmt.Errorf("minnow: CustomPrefetch requires Minnow and Prefetch")
+		return fmt.Errorf("minnow: CustomPrefetch: requires Minnow and Prefetch")
 	case c.Minnow && c.Scheduler != "" && c.Scheduler != "minnow":
-		return fmt.Errorf("minnow: Minnow conflicts with Scheduler %q — the engine owns the worklist", c.Scheduler)
+		return fmt.Errorf("minnow: Scheduler: %q conflicts with Minnow — the engine owns the worklist", c.Scheduler)
 	case c.OnSample != nil && c.MetricsEvery <= 0:
-		return fmt.Errorf("minnow: OnSample fires at metrics-sample boundaries and requires MetricsEvery > 0")
+		return fmt.Errorf("minnow: OnSample: fires at metrics-sample boundaries and requires MetricsEvery > 0")
 	case c.IntraJobs < 0:
-		return fmt.Errorf("minnow: IntraJobs %d is negative (0 selects the serial engine, n >= 1 the bound/weave engine with n workers)", c.IntraJobs)
+		return fmt.Errorf("minnow: IntraJobs: %d is negative (0 selects the serial engine, n >= 1 the bound/weave engine with n workers)", c.IntraJobs)
 	case c.EpochWindow < 0:
-		return fmt.Errorf("minnow: EpochWindow %d is negative (0 selects the default window)", c.EpochWindow)
+		return fmt.Errorf("minnow: EpochWindow: %d is negative (0 selects the default window)", c.EpochWindow)
 	case c.EpochWindow > 0 && c.IntraJobs <= 0:
-		return fmt.Errorf("minnow: EpochWindow tunes the bound/weave engine and requires IntraJobs >= 1")
+		return fmt.Errorf("minnow: EpochWindow: tunes the bound/weave engine and requires IntraJobs >= 1")
 	}
 	switch c.Scheduler {
 	case "", "obim", "fifo", "lifo", "strictpq", "minnow":
 	default:
-		return fmt.Errorf("minnow: unknown Scheduler %q (want obim, fifo, lifo, strictpq, or minnow)", c.Scheduler)
+		return fmt.Errorf("minnow: Scheduler: unknown %q (want obim, fifo, lifo, strictpq, or minnow)", c.Scheduler)
 	}
 	switch c.HWPrefetcher {
 	case "", "stride", "imp":
 	default:
-		return fmt.Errorf("minnow: unknown HWPrefetcher %q (want stride or imp)", c.HWPrefetcher)
+		return fmt.Errorf("minnow: HWPrefetcher: unknown %q (want stride or imp)", c.HWPrefetcher)
 	}
 	if c.Faults != "" {
 		if _, err := fault.ParsePlan(c.Faults); err != nil {
-			return fmt.Errorf("minnow: invalid Faults plan: %w", err)
+			return fmt.Errorf("minnow: Faults: invalid plan: %w", err)
 		}
 	}
 	return nil
@@ -227,6 +233,13 @@ type Result struct {
 	// summary (stats.RunSummary) — the value the determinism and
 	// serial/parallel equivalence checks compare. Always non-empty.
 	SummaryHash string
+	// SummaryJSON is the canonical stats.RunSummary JSON the hash is
+	// computed over: the complete deterministic digest of the run (wall
+	// cycles, per-core/cache/engine counters, fault totals). Two runs of
+	// the same configuration produce byte-identical SummaryJSON — the
+	// property minnowd's content-addressed result cache is built on.
+	// Always non-nil.
+	SummaryJSON []byte
 
 	L2MPKI             float64    // demand L2 misses per kilo-instruction
 	PrefetchEfficiency float64    // used-before-eviction / prefetch fills
@@ -341,7 +354,7 @@ func (c Config) toOptions() (harness.Options, error) {
 	if c.Faults != "" {
 		plan, err := fault.ParsePlan(c.Faults)
 		if err != nil {
-			return o, fmt.Errorf("minnow: invalid Faults plan: %w", err)
+			return o, fmt.Errorf("minnow: Faults: invalid plan: %w", err)
 		}
 		o.Faults = plan
 	}
@@ -375,6 +388,7 @@ func Run(benchmark string, cfg Config) (*Result, error) {
 // resultFrom assembles the public result from a harness run.
 func resultFrom(benchmark string, r *stats.Run) *Result {
 	sum := r.SumCores()
+	summary := r.Summary()
 	res := &Result{
 		Benchmark:          benchmark,
 		Threads:            r.Threads,
@@ -383,7 +397,8 @@ func resultFrom(benchmark string, r *stats.Run) *Result {
 		TimedOut:           r.TimedOut,
 		SimSteps:           r.SimSteps,
 		BoundSteps:         r.BoundSteps,
-		SummaryHash:        r.Summary().Hash(),
+		SummaryHash:        summary.Hash(),
+		SummaryJSON:        summary.JSON(),
 		L2MPKI:             r.L2MPKI(),
 		PrefetchEfficiency: r.L2.Efficiency(),
 		DelinquentDensity:  r.DelinquentDensity(),
@@ -510,17 +525,18 @@ type FigureOptions struct {
 }
 
 // Validate rejects nonsensical figure options with a descriptive error;
-// zero values select the documented defaults.
+// zero values select the documented defaults. Messages follow the same
+// "minnow: <Field>: <reason>" form as Config.Validate.
 func (f FigureOptions) Validate() error {
 	switch {
 	case f.Threads < 0:
-		return fmt.Errorf("minnow: figure Threads %d is negative (0 selects the default of 64)", f.Threads)
+		return fmt.Errorf("minnow: Threads: figure thread count %d is negative (0 selects the default of 64)", f.Threads)
 	case f.Threads > 64:
-		return fmt.Errorf("minnow: figure Threads %d exceeds 64, the coherence directory's sharer-mask width", f.Threads)
+		return fmt.Errorf("minnow: Threads: figure thread count %d exceeds 64, the coherence directory's sharer-mask width", f.Threads)
 	case f.Scale < 0:
-		return fmt.Errorf("minnow: figure Scale %d is negative (0 selects the default of 1)", f.Scale)
+		return fmt.Errorf("minnow: Scale: figure scale %d is negative (0 selects the default of 1)", f.Scale)
 	case f.Jobs < 0:
-		return fmt.Errorf("minnow: figure Jobs %d is negative (0 means all CPUs)", f.Jobs)
+		return fmt.Errorf("minnow: Jobs: figure worker count %d is negative (0 means all CPUs)", f.Jobs)
 	}
 	return nil
 }

@@ -32,6 +32,8 @@ var defaultDirs = []string{
 	"internal/stats",
 	"internal/prof",
 	"internal/inspect",
+	"internal/service",
+	"internal/service/cache",
 }
 
 func main() {

@@ -1,0 +1,111 @@
+// Command linkcheck verifies that relative markdown links resolve.
+//
+// It walks the markdown files named on the command line (default: every
+// *.md in the repository root and docs/), extracts [text](target)
+// links, and checks each relative target exists on disk, resolving
+// against the linking file's directory. External links (http, https,
+// mailto) and intra-page fragments (#...) are skipped — this is a
+// repo-consistency gate, not a crawler. A fragment on a relative link
+// (FILE.md#section) is stripped before the existence check.
+//
+// Exit status is nonzero when any link is broken, so CI can gate a
+// documentation pass on it; every broken link is reported as
+// file:line: target.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRE matches inline markdown links. It deliberately keeps the
+// target lazy and bans whitespace/parens inside, which is enough for
+// this repo's docs and avoids false matches on code snippets.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = defaultFiles()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+	}
+	var broken []string
+	checked := 0
+	for _, f := range files {
+		b, c, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+		broken = append(broken, b...)
+		checked += c
+	}
+	for _, b := range broken {
+		fmt.Println(b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) of %d checked\n", len(broken), checked)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d relative link(s) across %d file(s) all resolve\n", checked, len(files))
+}
+
+// defaultFiles collects the repository's top-level and docs/ markdown.
+func defaultFiles() ([]string, error) {
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md", "examples/*/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, m...)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// checkFile returns the broken-link reports for one markdown file and
+// the number of relative links it checked.
+func checkFile(path string) (broken []string, checked int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			if _, statErr := os.Stat(filepath.Join(dir, target)); statErr != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: %s", path, i+1, m[1]))
+			}
+		}
+	}
+	return broken, checked, nil
+}

@@ -1,6 +1,7 @@
 package minnow
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -29,8 +30,8 @@ func TestConfigValidate(t *testing.T) {
 		{"prefetch without minnow", Config{Prefetch: true}, "requires Minnow"},
 		{"custom prefetch without prefetch", Config{Minnow: true, CustomPrefetch: func(Task, GraphView, func(...uint64)) {}}, "CustomPrefetch"},
 		{"minnow vs scheduler", Config{Minnow: true, Scheduler: "obim"}, "conflicts"},
-		{"unknown scheduler", Config{Scheduler: "random"}, "unknown Scheduler"},
-		{"unknown hw prefetcher", Config{HWPrefetcher: "ghb"}, "unknown HWPrefetcher"},
+		{"unknown scheduler", Config{Scheduler: "random"}, "Scheduler: unknown"},
+		{"unknown hw prefetcher", Config{HWPrefetcher: "ghb"}, "HWPrefetcher: unknown"},
 		{"bad fault plan", Config{Faults: "warp-core:p=1"}, "Faults"},
 	}
 	for _, tc := range cases {
@@ -49,6 +50,79 @@ func TestConfigValidate(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestValidateErrorForm pins the Validate error-message contract: every
+// message is "minnow: <Field>: <reason>", naming the offending Config
+// field first. minnowd serves these strings verbatim in HTTP 400 bodies
+// (docs/SERVICE.md documents clients may dispatch on the field prefix),
+// so the exact texts for the PR 3–6 field additions are table-pinned
+// here — changing one is an API change, not a wording tweak.
+func TestValidateErrorForm(t *testing.T) {
+	exact := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"faults", Config{Faults: "warp-core:p=1"},
+			`minnow: Faults: invalid plan: fault: unknown clause "warp-core" (have engine-stall, engine-offline, noc-delay, dram-retry, spill-retry, credit-loss, seed)`},
+		{"intra jobs", Config{IntraJobs: -2},
+			"minnow: IntraJobs: -2 is negative (0 selects the serial engine, n >= 1 the bound/weave engine with n workers)"},
+		{"epoch window negative", Config{EpochWindow: -1},
+			"minnow: EpochWindow: -1 is negative (0 selects the default window)"},
+		{"epoch window without intra", Config{EpochWindow: 100},
+			"minnow: EpochWindow: tunes the bound/weave engine and requires IntraJobs >= 1"},
+		{"on sample without metrics", Config{OnSample: func(int64, string) {}},
+			"minnow: OnSample: fires at metrics-sample boundaries and requires MetricsEvery > 0"},
+		{"max cycles", Config{MaxCycles: -7},
+			"minnow: MaxCycles: -7 is negative (0 selects a large default)"},
+		{"scheduler conflict", Config{Minnow: true, Scheduler: "fifo"},
+			`minnow: Scheduler: "fifo" conflicts with Minnow — the engine owns the worklist`},
+	}
+	for _, tc := range exact {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error message changed:\n got %q\nwant %q", err, tc.want)
+			}
+		})
+	}
+
+	// Every Validate error, whatever the field, must match the
+	// "minnow: <Field>: " prefix form.
+	form := regexp.MustCompile(`^minnow: [A-Z][A-Za-z]*: `)
+	bad := []Config{
+		{Threads: -1}, {Threads: 65}, {Scale: -2}, {Credits: -1},
+		{SplitThreshold: -3}, {WorkBudget: -1}, {MemChannels: -5},
+		{TraceEvents: -1}, {MetricsEvery: -1}, {MaxCycles: -1},
+		{Serial: true, Threads: 4}, {Prefetch: true},
+		{Minnow: true, CustomPrefetch: func(Task, GraphView, func(...uint64)) {}},
+		{Minnow: true, Scheduler: "obim"}, {Scheduler: "random"},
+		{HWPrefetcher: "ghb"}, {Faults: "bogus-kind"},
+		{IntraJobs: -1}, {EpochWindow: -1}, {EpochWindow: 5},
+		{OnSample: func(int64, string) {}},
+	}
+	for _, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("invalid config accepted: %+v", cfg)
+		}
+		if !form.MatchString(err.Error()) {
+			t.Errorf("error %q does not follow the \"minnow: <Field>: <reason>\" form", err)
+		}
+	}
+	for _, opts := range []FigureOptions{{Threads: -1}, {Threads: 128}, {Scale: -1}, {Jobs: -2}} {
+		err := opts.Validate()
+		if err == nil {
+			t.Fatalf("invalid FigureOptions accepted: %+v", opts)
+		}
+		if !form.MatchString(err.Error()) {
+			t.Errorf("figure error %q does not follow the \"minnow: <Field>: <reason>\" form", err)
+		}
 	}
 }
 
