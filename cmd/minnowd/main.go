@@ -11,9 +11,14 @@
 //	minnowd -addr :8080
 //	minnowd -addr :8080 -shards 4 -cache-dir /var/lib/minnowd
 //	minnowd -addr :8080 -job-max-cycles 500000000 -progress-every 1000000
+//	minnowd -cache-dir /var/lib/minnowd -journal /var/lib/minnowd/journal.jsonl
 //
 // SIGINT/SIGTERM drains: submissions are refused with 503, accepted
-// jobs finish, then the process exits.
+// jobs finish, then the process exits. With -journal, accepted jobs
+// additionally survive a crash (kill -9): the next start replays the
+// journal, serves since-completed jobs from the cache, and re-enqueues
+// the rest — determinism guarantees the re-runs reproduce the exact
+// results the lost runs would have produced.
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "concurrent simulations (0 = size against -intra-jobs via the shared budget)")
 		intra    = flag.Int("intra-jobs", 0, "bound/weave workers inside each simulation for jobs that leave IntraJobs 0 (host-only; never changes results)")
 		cacheDir = flag.String("cache-dir", "", "persist the result cache under this directory (empty = memory only)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries past this many bytes (0 = unbounded)")
+		jpath    = flag.String("journal", "", "append-only job journal for crash recovery; replayed on startup (empty = no journal)")
 		queueCap = flag.Int("queue-limit", 0, "refuse submissions beyond this many queued jobs with 429 (0 = 65536)")
 		maxCyc   = flag.Int64("job-max-cycles", 0, "watchdog bound applied to jobs that leave MaxCycles 0: halt past this many simulated cycles (0 = simulator default)")
 		progress = flag.Int64("progress-every", 0, "metrics-sampling cadence in simulated cycles for jobs that leave MetricsEvery 0; feeds /jobs/{id}/stream (0 = off)")
@@ -47,6 +54,8 @@ func main() {
 		Shards:        *shards,
 		IntraJobs:     *intra,
 		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		JournalPath:   *jpath,
 		QueueLimit:    *queueCap,
 		MaxCycles:     *maxCyc,
 		ProgressEvery: *progress,
@@ -62,6 +71,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("minnowd: serving on %s (%d shards, cache %s)\n", bound, s.Shards(), cacheDesc(*cacheDir, s.Cache().Len()))
+	if s.Cache().Degraded() {
+		fmt.Fprintf(os.Stderr, "minnowd: WARNING: cache degraded to memory-only: %s\n", s.Cache().DegradedReason())
+	}
+	if rec := s.Recovery(); *jpath != "" && (rec.Requeued > 0 || rec.Completed > 0) {
+		fmt.Printf("minnowd: journal replay: %d jobs re-enqueued, %d served from cache\n", rec.Requeued, rec.Completed)
+	}
 
 	if *inspAddr != "" {
 		insp, err := inspect.Start(*inspAddr)

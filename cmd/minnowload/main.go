@@ -18,10 +18,17 @@
 // without a single deduplicated submission. CI runs a short smoke with
 // -require-hits as the dedup-correctness gate (see docs/SERVICE.md).
 //
+// Backpressure responses (429 queue-full, 503 draining) are retried
+// with exponential backoff and full jitter, honoring the server's
+// Retry-After hint. -cancel-frac DELETEs a fraction of accepted jobs
+// after a short random delay to exercise the cancellation path under
+// load; those submissions are expected to end canceled.
+//
 // Usage:
 //
 //	minnowload -addr http://127.0.0.1:8080 -duration 30s
 //	minnowload -addr http://127.0.0.1:8080 -rate 20 -duration 1m -seeds 4
+//	minnowload -addr http://127.0.0.1:8080 -duration 30s -cancel-frac 0.2
 package main
 
 import (
@@ -30,9 +37,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -51,13 +60,18 @@ func main() {
 		threads = flag.Int("threads", 1, "simulated core count per job (keep small; every miss is a full simulation)")
 		wait    = flag.Duration("wait", 5*time.Minute, "per-job completion wait before counting it lost")
 		require = flag.Bool("require-hits", false, "exit nonzero unless at least one submission was served by cache hit or coalescing")
+		cancelF = flag.Float64("cancel-frac", 0, "DELETE this fraction of accepted jobs after a short random delay (exercises the cancellation path; canceled terminals count as expected, not failures)")
 	)
 	flag.Parse()
+	if *cancelF < 0 || *cancelF > 1 {
+		fmt.Fprintln(os.Stderr, "minnowload: -cancel-frac must be in [0, 1]")
+		os.Exit(2)
+	}
 
 	grid := buildGrid(strings.Split(*benches, ","), *seeds, *threads)
 	fmt.Printf("minnowload: %d-point grid against %s for %v\n", len(grid), *addr, *dur)
 
-	l := &loader{addr: strings.TrimRight(*addr, "/"), grid: grid, wait: *wait, hashes: make(map[string]string)}
+	l := &loader{addr: strings.TrimRight(*addr, "/"), grid: grid, wait: *wait, cancelFrac: *cancelF, hashes: make(map[string]string)}
 	deadline := time.Now().Add(*dur)
 	if *rate > 0 {
 		l.openLoop(*rate, deadline)
@@ -97,14 +111,17 @@ type point struct {
 
 // loader runs the load shape and accumulates results.
 type loader struct {
-	addr string
-	grid []point
-	wait time.Duration
+	addr       string
+	grid       []point
+	wait       time.Duration
+	cancelFrac float64
 
 	mu        sync.Mutex
 	submitted int
 	completed int
 	cachedN   int // served with Cached or Coalesced set
+	canceledN int // submissions we DELETEd that ended canceled
+	retries   int // submissions retried after a 429/503 backpressure response
 	failures  []string
 	sojourns  []time.Duration
 	hashes    map[string]string // key → first summary hash seen
@@ -160,6 +177,16 @@ func (l *loader) one(p point) {
 		l.fail(err.Error())
 		return
 	}
+	// Optionally exercise the cancellation path: DELETE a fraction of
+	// accepted (not born-done) submissions after a short random delay.
+	wantCancel := l.cancelFrac > 0 && !terminalStatus(v.Status) && rand.Float64() < l.cancelFrac
+	if wantCancel {
+		time.Sleep(time.Duration(rand.Int63n(int64(100 * time.Millisecond))))
+		if err := l.cancel(v.ID); err != nil {
+			l.fail(err.Error())
+			return
+		}
+	}
 	for v.Status == service.StatusQueued || v.Status == service.StatusRunning {
 		if time.Since(start) > l.wait {
 			l.fail(fmt.Sprintf("%s: no terminal status within %v", v.ID, l.wait))
@@ -171,6 +198,14 @@ func (l *loader) one(p point) {
 			l.fail(err.Error())
 			return
 		}
+	}
+	if v.Status == service.StatusCanceled && wantCancel {
+		// The expected terminal for a submission we DELETEd; it carries no
+		// result, so it contributes nothing to the hash cross-check.
+		l.mu.Lock()
+		l.canceledN++
+		l.mu.Unlock()
+		return
 	}
 	if v.Status != service.StatusDone {
 		l.fail(fmt.Sprintf("%s: terminal status %s: %s", v.ID, v.Status, v.Error))
@@ -194,22 +229,72 @@ func (l *loader) one(p point) {
 	}
 }
 
-// submit POSTs one job and decodes the JobView.
+// submit POSTs one job and decodes the JobView. Backpressure responses
+// (429 queue-full, 503 draining) are retried with exponential backoff
+// and jitter, honoring the server's Retry-After hint when present; the
+// retry budget is the same per-job wait bound used for completion.
 func (l *loader) submit(body []byte) (service.JobView, error) {
-	resp, err := http.Post(l.addr+"/jobs", "application/json", bytes.NewReader(body))
+	deadline := time.Now().Add(l.wait)
+	backoff := 100 * time.Millisecond
+	for {
+		resp, err := http.Post(l.addr+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return service.JobView{}, err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var v service.JobView
+			if err := json.Unmarshal(b, &v); err != nil {
+				return service.JobView{}, fmt.Errorf("POST /jobs: bad body: %w", err)
+			}
+			return v, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			sleep := backoff
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				sleep = time.Duration(ra) * time.Second
+			}
+			// Full jitter: a uniform draw in (0, sleep] decorrelates the
+			// retry herd that a fixed Retry-After would synchronize.
+			sleep = time.Duration(rand.Int63n(int64(sleep))) + time.Millisecond
+			if time.Now().Add(sleep).After(deadline) {
+				return service.JobView{}, fmt.Errorf("POST /jobs: %d after %v of backoff: %s", resp.StatusCode, l.wait, strings.TrimSpace(string(b)))
+			}
+			l.mu.Lock()
+			l.retries++
+			l.mu.Unlock()
+			time.Sleep(sleep)
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		default:
+			return service.JobView{}, fmt.Errorf("POST /jobs: %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+		}
+	}
+}
+
+// cancel DELETEs one job (idempotent on the server side).
+func (l *loader) cancel(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, l.addr+"/jobs/"+id, nil)
 	if err != nil {
-		return service.JobView{}, err
+		return err
 	}
-	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return service.JobView{}, fmt.Errorf("POST /jobs: %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
 	}
-	var v service.JobView
-	if err := json.Unmarshal(b, &v); err != nil {
-		return service.JobView{}, fmt.Errorf("POST /jobs: bad body: %w", err)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("DELETE /jobs/%s: %d", id, resp.StatusCode)
 	}
-	return v, nil
+	return nil
+}
+
+// terminalStatus mirrors the server's terminal-status set.
+func terminalStatus(status string) bool {
+	return status == service.StatusDone || status == service.StatusFailed || status == service.StatusCanceled
 }
 
 // poll GETs one job's current view.
@@ -257,7 +342,8 @@ func (l *loader) report(requireHits bool) bool {
 		ratio = float64(l.cachedN) / float64(l.completed)
 	}
 
-	fmt.Printf("minnowload: submitted %d, completed %d, failed %d\n", l.submitted, l.completed, len(l.failures))
+	fmt.Printf("minnowload: submitted %d, completed %d, canceled %d, failed %d (backpressure retries %d)\n",
+		l.submitted, l.completed, l.canceledN, len(l.failures), l.retries)
 	if l.completed > 0 {
 		fmt.Printf("minnowload: sojourn p50 %v  p99 %v  mean %v\n", pct(0.50).Round(time.Millisecond), pct(0.99).Round(time.Millisecond), (total / time.Duration(l.completed)).Round(time.Millisecond))
 	}

@@ -42,6 +42,12 @@ type watchdog struct {
 // run.
 func installWatchdog(eng *sim.Engine, o Options, inj *fault.Injector, runner *galois.Runner) *watchdog {
 	wd := &watchdog{lastApplied: -1}
+	if o.Cancel != nil {
+		// The cooperative cancellation hook rides the same read-only
+		// polling cadence; a run it never fires on is byte-identical to
+		// one without it.
+		eng.SetCancel(watchdogEvery, o.Cancel)
+	}
 	progress := o.Invariants || inj != nil
 	eng.SetWatchdog(watchdogEvery, func() bool {
 		if int64(eng.Now()) > o.MaxCycles {

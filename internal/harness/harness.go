@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -19,6 +20,11 @@ import (
 	"minnow/internal/trace"
 	"minnow/internal/worklist"
 )
+
+// ErrCanceled reports that a run was abandoned by the Options.Cancel
+// hook. Errors returned by Run wrap it, so hosts distinguish
+// cancellation from real failures with errors.Is.
+var ErrCanceled = errors.New("run canceled")
 
 // Options configures one simulated run.
 type Options struct {
@@ -106,6 +112,14 @@ type Options struct {
 	// cycle and the registry's Prometheus text exposition — the live run
 	// inspector's feed. The callback must treat the run as read-only.
 	OnSample func(cycles int64, metrics string)
+	// Cancel, when non-nil, is a host-driven cooperative cancellation
+	// hook polled on the watchdog cadence (every watchdogEvery steps).
+	// Returning true abandons the run: Run returns an error wrapping
+	// ErrCanceled and no statistics. The hook must be read-only and is
+	// a host-only knob — like OnSample it never perturbs a run that
+	// completes (the cancel-inert test pins byte-identical summaries
+	// with a never-firing hook installed).
+	Cancel func() bool
 
 	// IntraJobs selects the simulation kernel's execution mode: 0 (the
 	// default) runs the classic serial engine; n >= 1 runs the epoch-based
@@ -320,6 +334,10 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	wd := installWatchdog(eng, o, inj, runner)
 
 	drained := runEngine(eng, o)
+	if eng.Canceled() {
+		return nil, fmt.Errorf("harness: %s/%s: %w at cycle %d after %d steps",
+			spec.Name, o.Scheduler, ErrCanceled, eng.Now(), eng.Steps())
+	}
 	if eng.Halted() {
 		snap := collectSnapshot(wd.reason, eng, runner, engines, gwl, swWL, msys, inj)
 		return nil, fmt.Errorf("harness: %s/%s halted by watchdog: %s\n%s",

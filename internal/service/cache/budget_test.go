@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestBudgetEvictsLRU pins the capacity contract: a bounded cache stays
+// within its budget by dropping the least-recently-used entries, and an
+// evicted key is a plain miss.
+func TestBudgetEvictsLRU(t *testing.T) {
+	c := New()
+	// Size one entry to calibrate the budget: room for ~2 entries.
+	probe := entry("probe", "h", `{}`)
+	if err := c.Put(probe); err != nil {
+		t.Fatal(err)
+	}
+	per := c.Bytes()
+	if per <= 0 {
+		t.Fatalf("entry size not accounted: %d", per)
+	}
+	c.SetBudget(2*per + per/2)
+
+	if err := c.Put(entry("a", "h", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// probe and a fit; adding b must evict probe (the LRU).
+	if err := c.Put(entry("b", "h", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() > c.Budget() {
+		t.Fatalf("cache over budget: %d > %d", c.Bytes(), c.Budget())
+	}
+	if _, ok := c.Get("probe"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recent entry evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+
+	// Recency matters: touch a, then insert c — b must go, not a.
+	c.Get("a")
+	if err := c.Put(entry("c", "h", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived; recency bump ignored")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-touched entry a evicted")
+	}
+}
+
+// TestBudgetEvictionIsMissNeverConflict is the determinism interplay:
+// re-caching a previously evicted key with the same hash must succeed
+// silently (determinism means the re-run reproduced the identical
+// result).
+func TestBudgetEvictionIsMissNeverConflict(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(entry("victim", "h-victim", `{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	per := c.Bytes()
+	c.SetBudget(per + per/2) // room for one entry only
+	if err := c.Put(entry("other", "h-other", `{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("victim"); ok {
+		t.Fatal("victim survived a one-entry budget")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "victim.json")); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry file still on disk: %v", err)
+	}
+	// The re-run re-caches cleanly: same key, same hash, no conflict.
+	if err := c.Put(entry("victim", "h-victim", `{"x":1}`)); err != nil {
+		t.Fatalf("re-caching an evicted key conflicted: %v", err)
+	}
+	if _, ok := c.Get("victim"); !ok {
+		t.Fatal("re-cached entry not served")
+	}
+}
+
+// TestBudgetSparesJustInserted: a budget smaller than a single entry
+// keeps the newest entry anyway — evicting it would make every Put an
+// instant miss.
+func TestBudgetSparesJustInserted(t *testing.T) {
+	c := New()
+	c.SetBudget(1)
+	if err := c.Put(entry("k", "h", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("sub-entry budget evicted the entry just inserted")
+	}
+}
+
+// TestBudgetSurvivesRestart: a restarted disk cache seeds its
+// accounting from the directory scan, so the budget applies to entries
+// written by the previous process.
+func TestBudgetSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c1.Put(entry(fmt.Sprintf("k%d", i), "h", `{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := c1.Bytes()
+
+	c2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Bytes() != total {
+		t.Fatalf("restart lost size accounting: %d != %d", c2.Bytes(), total)
+	}
+	c2.SetBudget(total / 2)
+	if c2.Bytes() > total/2 {
+		t.Fatalf("restarted cache did not evict to budget: %d > %d", c2.Bytes(), total/2)
+	}
+	if c2.Evictions() == 0 {
+		t.Fatal("no evictions recorded after shrinking the budget")
+	}
+}
+
+// TestDegradedMemoryOnly: an unusable cache directory (a path under a
+// regular file — chmod is useless under root) degrades to memory-only
+// instead of failing construction, and Puts still serve from memory.
+func TestDegradedMemoryOnly(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewDisk(filepath.Join(blocker, "cache")) // ENOTDIR
+	if err != nil {
+		t.Fatalf("unusable dir failed construction instead of degrading: %v", err)
+	}
+	if !c.Degraded() || c.DegradedReason() == "" {
+		t.Fatalf("degradation not reported: degraded=%v reason=%q", c.Degraded(), c.DegradedReason())
+	}
+	if c.Dir() != "" {
+		t.Fatalf("degraded cache still claims a dir: %q", c.Dir())
+	}
+	if err := c.Put(entry("k", "h", `{}`)); err != nil {
+		t.Fatalf("degraded cache refused a Put: %v", err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("degraded cache lost a memory entry")
+	}
+}
+
+// TestPutDiskFailureDegrades: when the directory disappears after
+// construction, Put retries, keeps the entry in memory, flags
+// degradation, and still returns nil — only hash conflicts may fail a
+// Put.
+func TestPutDiskFailureDegrades(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "cache")
+	c, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the directory with a regular file: every CreateTemp in it
+	// now fails with ENOTDIR, deterministically, even as root.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(entry("k", "h", `{}`)); err != nil {
+		t.Fatalf("disk failure surfaced from Put: %v", err)
+	}
+	if !c.Degraded() {
+		t.Fatal("disk failure did not flag degradation")
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry lost despite memory fallback")
+	}
+	// The determinism guard still applies in degraded mode.
+	if err := c.Put(entry("k", "other", `{}`)); !errors.Is(err, ErrHashConflict) {
+		t.Fatalf("degraded cache lost the conflict guard: %v", err)
+	}
+}
+
+// TestBudgetConcurrent hammers a small budget from many goroutines:
+// accounting must stay consistent (never negative, never wildly over
+// budget) and same-hash re-caching must never conflict.
+func TestBudgetConcurrent(t *testing.T) {
+	c, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(entry("probe", "h", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	per := c.Bytes()
+	c.SetBudget(3 * per)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("k%d", i%8)
+				if err := c.Put(entry(key, "h-"+key, `{}`)); err != nil {
+					t.Errorf("concurrent Put conflicted: %v", err)
+					return
+				}
+				c.Get(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Bytes() < 0 {
+		t.Fatalf("negative size accounting: %d", c.Bytes())
+	}
+	if c.Bytes() > c.Budget()+per {
+		t.Fatalf("cache runaway: %d bytes against budget %d", c.Bytes(), c.Budget())
+	}
+}

@@ -22,22 +22,47 @@
 // differs from the incoming one: under the determinism contract that
 // can only mean a broken simulator or a corrupted store, and silently
 // overwriting would mask it.
+//
+// Capacity contract: SetBudget bounds the store to a byte budget with
+// least-recently-used eviction. Eviction is always a miss, never a
+// conflict — an evicted configuration re-simulates to the identical
+// SummaryHash (determinism again) and re-enters the store cleanly. The
+// budget is enforced against every entry except the one just inserted,
+// so a single oversized entry degrades capacity, never correctness.
+//
+// Degradation contract: disk failures never fail a simulation that
+// already produced a result. Writes retry with a short backoff; if the
+// directory stays unwritable the cache drops to memory-only persistence
+// for that entry, marks itself degraded (Degraded/DegradedReason, and a
+// gauge in minnowd's /metrics), and keeps serving. Only ErrHashConflict
+// — a real determinism violation — surfaces from Put.
 package cache
 
 import (
+	"container/list"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrHashConflict is returned by Put when an entry already exists under
 // the key with a different SummaryHash — a determinism violation (or
 // store corruption) that must surface, never be papered over.
 var ErrHashConflict = errors.New("cache: summary hash conflict for existing key")
+
+// putRetries is how many times a failed disk write is retried before
+// the cache degrades to memory-only for that entry. Backoff between
+// attempts is putBackoff << attempt.
+const putRetries = 3
+
+// putBackoff is the base delay between disk-write retry attempts.
+const putBackoff = 5 * time.Millisecond
 
 // Entry is one memoized simulation result. All JSON payloads are stored
 // raw so a cache hit replays the producing run's bytes exactly.
@@ -77,30 +102,142 @@ func (e *Entry) Covers(timeline, profile bool) bool {
 }
 
 // Cache is a content-addressed entry store: an in-memory map backed by
-// an optional on-disk directory that survives restarts.
+// an optional on-disk directory that survives restarts, with an
+// optional byte budget enforced by LRU eviction.
 type Cache struct {
 	mu  sync.Mutex
 	mem map[string]*Entry
 	dir string // "" = memory only
+
+	maxBytes  int64 // 0 = unbounded
+	sizes     map[string]int64
+	total     int64
+	lru       *list.List // front = most recently used; values are keys
+	lruEl     map[string]*list.Element
+	evictions int64
+
+	degraded       bool
+	degradedReason string
 }
 
 // New returns a memory-only cache.
-func New() *Cache { return &Cache{mem: make(map[string]*Entry)} }
+func New() *Cache {
+	return &Cache{
+		mem:   make(map[string]*Entry),
+		sizes: make(map[string]int64),
+		lru:   list.New(),
+		lruEl: make(map[string]*list.Element),
+	}
+}
 
 // NewDisk returns a cache persisted under dir (created if missing): each
 // entry lives in <dir>/<key>.json, written atomically via a temp file +
 // rename, so a crash mid-write never leaves a truncated entry behind. A
 // fresh Cache over an existing directory serves its entries (loaded
-// lazily on first Get) — the "disk cache survives a restart" contract.
+// lazily on first Get) — the "disk cache survives a restart" contract;
+// their sizes and modification order seed the budget accounting and LRU
+// order. An uncreatable directory does not fail startup: the cache
+// degrades to memory-only (Degraded reports why) so the service keeps
+// running without persistence.
 func NewDisk(dir string) (*Cache, error) {
+	c := New()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("cache: %w", err)
+		c.degraded = true
+		c.degradedReason = fmt.Sprintf("cache dir unusable, running memory-only: %v", err)
+		return c, nil
 	}
-	return &Cache{mem: make(map[string]*Entry), dir: dir}, nil
+	c.dir = dir
+	c.scanDirLocked()
+	return c, nil
+}
+
+// scanDirLocked seeds the size accounting and LRU order from the
+// entries already on disk: file sizes stand in for entry sizes (the
+// file is the marshaled entry) and modification times order recency.
+// Called from NewDisk before the cache is shared, so no lock is held.
+func (c *Cache) scanDirLocked() {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type onDisk struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var found []onDisk
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{
+			key:   strings.TrimSuffix(e.Name(), ".json"),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+	}
+	// Oldest first, so the LRU list ends with the newest at the front.
+	slices.SortFunc(found, func(a, b onDisk) int { return a.mtime.Compare(b.mtime) })
+	for _, f := range found {
+		c.sizes[f.key] = f.size
+		c.total += f.size
+		c.lruEl[f.key] = c.lru.PushFront(f.key)
+	}
 }
 
 // Dir returns the backing directory ("" when memory-only).
 func (c *Cache) Dir() string { return c.dir }
+
+// SetBudget bounds the store to maxBytes (0 removes the bound),
+// evicting least-recently-used entries immediately if the store is
+// already over.
+func (c *Cache) SetBudget(maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = maxBytes
+	c.evictToFitLocked("")
+}
+
+// Budget returns the configured byte budget (0 = unbounded).
+func (c *Cache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes
+}
+
+// Bytes returns the store's current accounted size in bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Evictions returns how many entries the budget has evicted.
+func (c *Cache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Degraded reports whether the cache has fallen back to memory-only
+// persistence after disk failures (see DegradedReason).
+func (c *Cache) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// DegradedReason returns the first disk failure that degraded the
+// cache, or "" when healthy.
+func (c *Cache) DegradedReason() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degradedReason
+}
 
 // Len returns the number of entries the cache can currently serve: all
 // in-memory entries plus any on-disk entries not yet loaded.
@@ -129,11 +266,13 @@ func (c *Cache) Len() int {
 
 // Get returns the entry stored under key, falling back to (and
 // repopulating memory from) the disk store. The second result reports
-// whether an entry was found.
+// whether an entry was found; an evicted entry is a plain miss. A hit
+// marks the entry most recently used.
 func (c *Cache) Get(key string) (*Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.mem[key]; ok {
+		c.touchLocked(key, c.sizes[key])
 		return e, true
 	}
 	if c.dir == "" {
@@ -150,6 +289,8 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 		return nil, false
 	}
 	c.mem[key] = &e
+	c.touchLocked(key, int64(len(b)))
+	c.evictToFitLocked(key)
 	return &e, true
 }
 
@@ -157,10 +298,17 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 // allowed only when the SummaryHash matches (an artifact upgrade: a
 // re-simulation that added a timeline or profile to the same
 // deterministic result); a differing hash returns ErrHashConflict and
-// leaves the store untouched.
+// leaves the store untouched. Disk-write failures are retried with
+// backoff and then degrade the cache to memory-only for the entry —
+// they never fail the Put, because the simulation result is already in
+// hand and losing persistence beats losing the run.
 func (c *Cache) Put(e *Entry) error {
 	if e.Key == "" {
 		return errors.New("cache: entry has no key")
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cache: marshal entry: %w", err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -171,34 +319,105 @@ func (c *Cache) Put(e *Entry) error {
 	if c.dir != "" {
 		// Check the disk copy too: a restart may hold entries memory has
 		// not seen yet.
-		if b, err := os.ReadFile(c.path(e.Key)); err == nil {
+		if db, err := os.ReadFile(c.path(e.Key)); err == nil {
 			var old Entry
-			if json.Unmarshal(b, &old) == nil && old.SummaryHash != "" && old.SummaryHash != e.SummaryHash {
+			if json.Unmarshal(db, &old) == nil && old.SummaryHash != "" && old.SummaryHash != e.SummaryHash {
 				return fmt.Errorf("%w: key %s has %s on disk, incoming %s",
 					ErrHashConflict, e.Key, old.SummaryHash, e.SummaryHash)
 			}
 		}
-		b, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("cache: marshal entry: %w", err)
+		if err := c.persistLocked(e.Key, b); err != nil {
+			// Transient retries exhausted: keep the result in memory and
+			// flag the degradation instead of failing a finished run.
+			c.degraded = true
+			if c.degradedReason == "" {
+				c.degradedReason = err.Error()
+			}
+		}
+	}
+	c.mem[e.Key] = e
+	c.touchLocked(e.Key, int64(len(b)))
+	c.evictToFitLocked(e.Key)
+	return nil
+}
+
+// persistLocked writes one marshaled entry to disk atomically (temp
+// file + rename), retrying transient failures with a short backoff.
+// Callers hold c.mu; the sleep inside the critical section is bounded
+// to a few tens of milliseconds and only taken on a failing disk.
+func (c *Cache) persistLocked(key string, b []byte) error {
+	var last error
+	for attempt := 0; attempt < putRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(putBackoff << (attempt - 1))
 		}
 		tmp, err := os.CreateTemp(c.dir, ".put-*")
 		if err != nil {
-			return fmt.Errorf("cache: %w", err)
+			last = fmt.Errorf("cache: %w", err)
+			continue
 		}
 		_, werr := tmp.Write(b)
 		cerr := tmp.Close()
 		if werr != nil || cerr != nil {
 			os.Remove(tmp.Name())
-			return fmt.Errorf("cache: write entry: %w", errors.Join(werr, cerr))
+			last = fmt.Errorf("cache: write entry: %w", errors.Join(werr, cerr))
+			continue
 		}
-		if err := os.Rename(tmp.Name(), c.path(e.Key)); err != nil {
+		if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
 			os.Remove(tmp.Name())
-			return fmt.Errorf("cache: %w", err)
+			last = fmt.Errorf("cache: %w", err)
+			continue
 		}
+		return nil
 	}
-	c.mem[e.Key] = e
-	return nil
+	return last
+}
+
+// touchLocked records key as most recently used with the given size.
+// Callers hold c.mu.
+func (c *Cache) touchLocked(key string, size int64) {
+	if el, ok := c.lruEl[key]; ok {
+		c.lru.MoveToFront(el)
+	} else {
+		c.lruEl[key] = c.lru.PushFront(key)
+	}
+	if size > 0 || c.sizes[key] == 0 {
+		c.total += size - c.sizes[key]
+		c.sizes[key] = size
+	}
+}
+
+// evictToFitLocked drops least-recently-used entries until the store
+// fits the budget, sparing keep (the entry just inserted or loaded —
+// evicting it would turn the current operation into an instant miss).
+// Evicted entries disappear from memory and disk; a failed file remove
+// is tolerated because a resurrected entry re-loads with the identical
+// SummaryHash (determinism) and can never conflict. Callers hold c.mu.
+func (c *Cache) evictToFitLocked(keep string) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.total > c.maxBytes {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		key := el.Value.(string)
+		if key == keep {
+			// Only the protected entry remains; over-budget by one entry
+			// beats evicting what the caller is about to use.
+			return
+		}
+		c.lru.Remove(el)
+		delete(c.lruEl, key)
+		c.total -= c.sizes[key]
+		delete(c.sizes, key)
+		delete(c.mem, key)
+		if c.dir != "" {
+			os.Remove(c.path(key)) //nolint:errcheck // resurrection is harmless: same hash, no conflict
+		}
+		c.evictions++
+	}
 }
 
 // path maps a key to its on-disk file. Keys are hex digests, so the

@@ -32,4 +32,22 @@
 // slow subscribers (each subscriber channel is buffered and lossy), so
 // streaming cannot stall or perturb a simulation. Shutdown drains:
 // accepted jobs finish, new submissions are refused with 503.
+//
+// Durability contract: with a journal configured (Config.JournalPath),
+// every accepted job is recorded — fsync'd — before the API
+// acknowledges it, and its terminal outcome when reached, so a kill -9
+// loses nothing: the next start replays the journal, re-enqueues
+// never-completed jobs (determinism guarantees the re-run reproduces
+// the exact SummaryHash the lost run would have), serves completed ones
+// from the cache, and reports how far crashed runs got via their last
+// epoch checkpoint. Replay appends nothing, so a double restart is a
+// no-op. See the journal subpackage for the record format.
+//
+// Cancellation contract: DELETE /jobs/{id} cancels a queued job before
+// the response returns; a running job's simulation observes its cancel
+// flag (wired to minnow.Config.Cancel, polled on the watchdog cadence)
+// within one poll interval, stops, and writes nothing to the cache.
+// Cancellation is per-submission: canceling one of several coalesced
+// duplicates detaches only that submission while the shared simulation
+// keeps running for the survivors.
 package service

@@ -6,26 +6,31 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the minnowd HTTP API:
 //
-//	POST /jobs             submit a job (JobSpec JSON) → JobView
-//	GET  /jobs             list jobs, newest first
-//	GET  /jobs/{id}        job status/result (?full=1 adds minnow.Result)
-//	GET  /jobs/{id}/stream SSE progress events (sample*, then done)
-//	GET  /metrics          Prometheus text exposition (service counters)
-//	GET  /healthz          liveness ("ok", or 503 while draining)
-//	GET  /                 human-readable index
+//	POST   /jobs             submit a job (JobSpec JSON) → JobView
+//	GET    /jobs             list jobs, newest first
+//	GET    /jobs/{id}        job status/result (?full=1 adds minnow.Result)
+//	DELETE /jobs/{id}        cancel a job (queued: immediate; running:
+//	                         within one cancel-poll interval)
+//	GET    /jobs/{id}/stream SSE progress events (sample*, then done)
+//	GET    /metrics          Prometheus text exposition (service counters)
+//	GET    /healthz          liveness ("ok", or 503 while draining)
+//	GET    /                 human-readable index
 //
 // Error bodies are plain text; validation failures carry the
-// minnow.Config.Validate message verbatim with status 400. See
-// docs/SERVICE.md for the full API reference.
+// minnow.Config.Validate message verbatim with status 400. Backpressure
+// responses — 429 (queue full) and 503 (draining) — carry a Retry-After
+// header. See docs/SERVICE.md for the full API reference.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -47,10 +52,14 @@ func (s *Server) Serve(addr string) (boundAddr string, stop func() error, err er
 	return ln.Addr().String(), srv.Close, nil
 }
 
-// fail writes an API error, mapping RequestError codes through.
+// fail writes an API error, mapping RequestError codes (and the
+// Retry-After backoff hint on backpressure responses) through.
 func fail(w http.ResponseWriter, err error) {
 	var re *RequestError
 	if errors.As(err, &re) {
+		if re.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(re.RetryAfter))
+		}
 		http.Error(w, re.Msg, re.Code)
 		return
 	}
@@ -86,6 +95,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK // cache hit: the result is already here
 	}
 	writeJSON(w, status, v)
+}
+
+// handleCancel is DELETE /jobs/{id}: cancel the job and return its
+// (possibly already terminal — cancellation is idempotent) view. A
+// queued job is canceled before the response; a running job's
+// simulation stops within one cancel-poll interval, so the returned
+// status may still read "running" — poll GET /jobs/{id} for the
+// terminal "canceled".
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 // handleList is GET /jobs.
@@ -200,12 +224,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, `minnowd — sharded Minnow simulation service
 
-POST /jobs             submit a simulation job (see docs/SERVICE.md)
-GET  /jobs             list jobs
-GET  /jobs/{id}        job status and result (?full=1 for artifacts)
-GET  /jobs/{id}/stream live progress events (SSE)
-GET  /metrics          Prometheus metrics
-GET  /healthz          liveness
+POST   /jobs             submit a simulation job (see docs/SERVICE.md)
+GET    /jobs             list jobs
+GET    /jobs/{id}        job status and result (?full=1 for artifacts)
+DELETE /jobs/{id}        cancel a job
+GET    /jobs/{id}/stream live progress events (SSE)
+GET    /metrics          Prometheus metrics
+GET    /healthz          liveness
 
 shards: %d  cache entries: %d
 `, s.shards, s.cache.Len())

@@ -11,7 +11,7 @@ import (
 // ConfigSpec is the JSON-serializable mirror of minnow.Config accepted
 // by POST /jobs: field names match minnow.Config exactly, so any JSON
 // document that unmarshals into minnow.Config unmarshals identically
-// here. The two non-data fields (CustomPrefetch and OnSample, Go
+// here. The non-data fields (CustomPrefetch, OnSample, and Cancel — Go
 // function hooks) are not expressible in JSON and are therefore absent;
 // everything else round-trips. See minnow.Config for per-field
 // semantics.
@@ -73,6 +73,43 @@ type ConfigSpec struct {
 	EpochWindow int64 `json:",omitempty"`
 	// SharedHorizons enables conservative-lookahead horizons.
 	SharedHorizons bool `json:",omitempty"`
+}
+
+// specFromConfig converts a resolved configuration back to the wire
+// form — the inverse of ToConfig for the JSON-expressible fields. The
+// journal stores this for every accepted job so a restart can re-run it
+// without the original request; the host-only function hooks (Cancel,
+// OnSample, CustomPrefetch) have no wire form and are re-wired by the
+// server on re-execution.
+func specFromConfig(cfg minnow.Config) ConfigSpec {
+	return ConfigSpec{
+		Threads:        cfg.Threads,
+		Scale:          cfg.Scale,
+		Seed:           cfg.Seed,
+		Minnow:         cfg.Minnow,
+		Prefetch:       cfg.Prefetch,
+		Credits:        cfg.Credits,
+		Scheduler:      cfg.Scheduler,
+		LgInterval:     cfg.LgInterval,
+		HWPrefetcher:   cfg.HWPrefetcher,
+		SplitThreshold: cfg.SplitThreshold,
+		WorkBudget:     cfg.WorkBudget,
+		Serial:         cfg.Serial,
+		MemChannels:    cfg.MemChannels,
+		PerfectBP:      cfg.PerfectBP,
+		NoFences:       cfg.NoFences,
+		SkipVerify:     cfg.SkipVerify,
+		TraceEvents:    cfg.TraceEvents,
+		MetricsEvery:   cfg.MetricsEvery,
+		Timeline:       cfg.Timeline,
+		Profile:        cfg.Profile,
+		Faults:         cfg.Faults,
+		Invariants:     cfg.Invariants,
+		MaxCycles:      cfg.MaxCycles,
+		IntraJobs:      cfg.IntraJobs,
+		EpochWindow:    cfg.EpochWindow,
+		SharedHorizons: cfg.SharedHorizons,
+	}
 }
 
 // ToConfig converts the wire form to the simulator's configuration.
@@ -183,7 +220,10 @@ type keyDoc struct {
 //     omitted field address the same entry.
 //   - Host-only knobs are excluded: IntraJobs and EpochWindow carry the
 //     bound/weave engine's byte-identical-output guarantee, so they can
-//     never change a result.
+//     never change a result. (The function hooks — Cancel, OnSample,
+//     CustomPrefetch — have no wire form at all: a canceled run never
+//     produces a result to cache, and a run the hooks never fire on is
+//     byte-identical to one without them.)
 //   - Observe-only knobs are excluded: TraceEvents, MetricsEvery,
 //     Timeline, and Profile are provably inert on the RunSummary (the
 //     obs test suites pin it). Artifact-bearing requests that miss an
@@ -247,8 +287,11 @@ func resolve(v, def int) int {
 }
 
 // Job statuses reported by the API. Lifecycle: queued → running →
-// done | failed; canceled replaces queued when the server shuts down
-// before execution. Cache hits are born done.
+// done | failed | canceled. Cache hits are born done. Canceled covers
+// every abandonment path: a client DELETE while queued (immediate), a
+// client DELETE while running (the simulation stops within one
+// cancel-poll interval and writes nothing to the cache), and server
+// shutdown before execution.
 const (
 	// StatusQueued marks a job waiting for a worker shard.
 	StatusQueued = "queued"
@@ -260,9 +303,15 @@ const (
 	// StatusFailed marks a job whose simulation errored; the Error field
 	// carries the message.
 	StatusFailed = "failed"
-	// StatusCanceled marks a job abandoned by shutdown before it ran.
+	// StatusCanceled marks a job abandoned before producing a result:
+	// canceled by DELETE /jobs/{id} (queued or mid-run) or by shutdown.
 	StatusCanceled = "canceled"
 )
+
+// terminal reports whether a status ends a job's lifecycle.
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
 
 // JobView is the API representation of a job (POST /jobs and
 // GET /jobs/{id} responses).
@@ -283,6 +332,13 @@ type JobView struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Priority echoes the submitted queue priority.
 	Priority int `json:"priority,omitempty"`
+	// Recovered reports the job was reconstructed from the journal after
+	// a restart rather than submitted to this process.
+	Recovered bool `json:"recovered,omitempty"`
+	// CheckpointCycles is the simulated cycle stamp of the job's most
+	// recent progress checkpoint (0 until the first interval sample);
+	// for recovered jobs it reports how far the crashed run got.
+	CheckpointCycles int64 `json:"checkpoint_cycles,omitempty"`
 	// Error carries the failure message when Status is "failed".
 	Error string `json:"error,omitempty"`
 	// SummaryHash is the run's deterministic fingerprint (set when done).

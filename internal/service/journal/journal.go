@@ -1,0 +1,176 @@
+// Package journal is minnowd's durable job log: an append-only
+// newline-delimited-JSON file that records every job's lifecycle
+// (submit → start → checkpoint* → done|failed|canceled) so a crashed
+// server can reconstruct its queue on restart. Replay is driven by the
+// service package: jobs whose last record is non-terminal are
+// re-enqueued (determinism guarantees the re-run reproduces the exact
+// SummaryHash the lost run would have produced), jobs with a terminal
+// record are re-registered served from the result cache, and checkpoint
+// records report how far a crashed run had progressed.
+//
+// Durability contract: Append writes each record as a single
+// line-buffered write; with sync=true the file is fsync'd before Append
+// returns, so submit and terminal records survive a kill -9 the moment
+// the API acknowledges them. Checkpoints are written without sync —
+// losing the last few progress stamps costs nothing, the job re-runs
+// anyway. A crash can leave a torn final line; Open tolerates it (and
+// any other undecodable line) by skipping, so recovery never fails on
+// the artifact of the crash it exists to survive.
+//
+// Concurrency contract: a Journal is safe for concurrent use; every
+// Append serializes on an internal mutex. Records for different jobs
+// interleave freely — replay groups them by ID.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Op identifies a record's lifecycle event.
+type Op string
+
+// Lifecycle operations, in the order a job emits them. Every job starts
+// with OpSubmit and ends with exactly one of the three terminal ops;
+// OpStart and OpCheckpoint appear only between the two.
+const (
+	// OpSubmit records a job accepted into the queue (fsync'd: the job
+	// survives a crash from the moment the API acknowledged it).
+	OpSubmit Op = "submit"
+	// OpStart records a worker shard picking the job up.
+	OpStart Op = "start"
+	// OpCheckpoint records mid-run progress: simulated cycles reached
+	// and interval samples emitted. Written without fsync.
+	OpCheckpoint Op = "checkpoint"
+	// OpDone records successful completion (fsync'd), with the result's
+	// SummaryHash; the result itself lives in the cache under Key.
+	OpDone Op = "done"
+	// OpFailed records a failed simulation (fsync'd), with the error.
+	OpFailed Op = "failed"
+	// OpCanceled records cancellation — client DELETE or shutdown —
+	// whether the job was still queued or already running (fsync'd).
+	OpCanceled Op = "canceled"
+)
+
+// Terminal reports whether the op ends a job's lifecycle.
+func (o Op) Terminal() bool {
+	return o == OpDone || o == OpFailed || o == OpCanceled
+}
+
+// Record is one journal line. Only ID and Op are always present; the
+// remaining fields depend on the op (see the Op constants).
+type Record struct {
+	// Op is the lifecycle event.
+	Op Op `json:"op"`
+	// ID is the server-assigned job identifier the record belongs to.
+	ID string `json:"id"`
+	// Bench is the benchmark name (submit records).
+	Bench string `json:"bench,omitempty"`
+	// Key is the canonical cache key of the job's resolved configuration
+	// (submit records) — recovery's bridge from journal to result cache.
+	Key string `json:"key,omitempty"`
+	// Priority is the submitted queue priority (submit records).
+	Priority int `json:"priority,omitempty"`
+	// Spec is the resolved ConfigSpec JSON (submit records), everything
+	// replay needs to re-run the job without the original request.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Cycles is the simulated cycle stamp (checkpoint records).
+	Cycles int64 `json:"cycles,omitempty"`
+	// Samples is the count of interval samples emitted so far
+	// (checkpoint records).
+	Samples int64 `json:"samples,omitempty"`
+	// Hash is the result's SummaryHash (done records).
+	Hash string `json:"hash,omitempty"`
+	// Error is the failure or cancellation reason (failed/canceled
+	// records).
+	Error string `json:"error,omitempty"`
+}
+
+// Journal is an open append-only job log.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if missing) the journal at path and replays its
+// existing records. Undecodable lines — a torn tail from a crash
+// mid-append, manual truncation — are skipped, not fatal: the journal
+// must be readable after exactly the failures it protects against. The
+// returned slice preserves append order.
+func Open(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" || r.Op == "" {
+			continue // torn or corrupt line: skip, never fail recovery
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	// Appends must land at the end regardless of where the scan stopped.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record as a single JSON line. With sync=true the
+// file is fsync'd before returning — used for submit and terminal
+// records, whose durability the API's acknowledgment promises;
+// checkpoints skip the fsync because losing them only loses a progress
+// report.
+func (j *Journal) Append(r Record, sync bool) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := errors.Join(j.f.Sync(), j.f.Close())
+	j.f = nil
+	return err
+}

@@ -1,0 +1,160 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		{Op: OpSubmit, ID: "j-1", Bench: "SSSP", Key: "abc", Priority: 2, Spec: json.RawMessage(`{"Threads":2}`)},
+		{Op: OpStart, ID: "j-1"},
+		{Op: OpCheckpoint, ID: "j-1", Cycles: 50000, Samples: 5},
+		{Op: OpDone, ID: "j-1", Hash: "deadbeef"},
+		{Op: OpSubmit, ID: "j-2", Bench: "BFS", Key: "def"},
+		{Op: OpCanceled, ID: "j-2", Error: "canceled by client"},
+	}
+	for _, r := range want {
+		if err := j.Append(r, r.Op != OpCheckpoint); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Op != want[i].Op || r.ID != want[i].ID || r.Bench != want[i].Bench ||
+			r.Key != want[i].Key || r.Priority != want[i].Priority ||
+			r.Cycles != want[i].Cycles || r.Samples != want[i].Samples ||
+			r.Hash != want[i].Hash || r.Error != want[i].Error {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if string(recs[0].Spec) != `{"Threads":2}` {
+		t.Fatalf("spec did not round-trip: %s", recs[0].Spec)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpSubmit, ID: "j-1", Key: "k"}, true); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: a torn, undecodable final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"done","id":"j-`)
+	f.Close()
+
+	j2, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail failed recovery: %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != "j-1" || recs[0].Op != OpSubmit {
+		t.Fatalf("replay after torn tail = %+v, want the one intact record", recs)
+	}
+	// Appending after a torn tail must produce a decodable next line:
+	// the writer seeks to EOF, so the new record shares the torn line,
+	// which replay skips — but the record after that must survive.
+	if err := j2.Append(Record{Op: OpCanceled, ID: "j-1"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Op: OpSubmit, ID: "j-2", Key: "k2"}, true); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.ID == "j-2" && r.Op == OpSubmit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("record appended after torn tail lost on replay: %+v", recs)
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for op, want := range map[Op]bool{
+		OpSubmit: false, OpStart: false, OpCheckpoint: false,
+		OpDone: true, OpFailed: true, OpCanceled: true,
+	} {
+		if op.Terminal() != want {
+			t.Fatalf("%s.Terminal() = %v, want %v", op, !want, want)
+		}
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append(Record{Op: OpCheckpoint, ID: "j-1", Cycles: int64(i)}, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	j.Close()
+	_, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*per {
+		t.Fatalf("replayed %d records after concurrent append, want %d (interleaved writes corrupted lines?)", len(recs), writers*per)
+	}
+}
+
+func TestClosedAppendFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(Record{Op: OpSubmit, ID: "j-1"}, false); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

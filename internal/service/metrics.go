@@ -17,7 +17,9 @@ type counters struct {
 
 	done     int64 // jobs finished successfully
 	failed   int64 // jobs whose simulation errored
-	canceled int64 // jobs abandoned by shutdown
+	canceled int64 // jobs canceled by client DELETE or shutdown
+
+	journalErrs int64 // journal appends that failed (durability degraded)
 
 	latencySum   time.Duration // total submit→terminal sojourn
 	latencyCount int64         // terminal jobs observed
@@ -53,6 +55,7 @@ func (s *Server) MetricsText() string {
 	m := s.m
 	depth := s.queue.Len()
 	busy := s.busy
+	rec := s.rec
 	s.mu.Unlock()
 
 	var b strings.Builder
@@ -84,6 +87,19 @@ func (s *Server) MetricsText() string {
 		ratio = float64(dedup) / float64(dedup+m.sims)
 	}
 	gauge("minnowd_cache_hit_ratio", "Deduplicated share of resolved submissions: (hits+coalesced)/(hits+coalesced+sims).", fmt.Sprintf("%.6f", ratio))
+
+	counter("minnowd_cache_evictions_total", "Entries dropped by the cache byte budget (each later reads back as a miss).", s.cache.Evictions())
+	gauge("minnowd_cache_bytes", "Accounted size of the result cache.", s.cache.Bytes())
+	gauge("minnowd_cache_capacity_bytes", "Configured cache byte budget (0 = unbounded).", s.cache.Budget())
+	degraded := 0
+	if s.cache.Degraded() {
+		degraded = 1
+	}
+	gauge("minnowd_cache_degraded", "1 when disk failures forced the cache to memory-only persistence.", degraded)
+
+	counter("minnowd_recovered_requeued_total", "Never-completed jobs re-enqueued by the startup journal replay.", rec.Requeued)
+	counter("minnowd_recovered_completed_total", "Replayed jobs served straight from the cache at startup.", rec.Completed)
+	counter("minnowd_journal_errors_total", "Journal appends that failed (durability degraded; must stay 0).", m.journalErrs)
 
 	fmt.Fprintf(&b, "# HELP minnowd_job_seconds Submit-to-terminal job sojourn time.\n# TYPE minnowd_job_seconds summary\n")
 	fmt.Fprintf(&b, "minnowd_job_seconds_sum %.6f\n", m.latencySum.Seconds())

@@ -1,0 +1,422 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"minnow"
+)
+
+// cancelJob issues DELETE /jobs/{id} and returns the status code and
+// decoded view (when 200).
+func cancelJob(t *testing.T, base, id string) (int, JobView) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatalf("DELETE body %s: %v", b, err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+// slowSpec is a job long enough (several seconds) to reliably cancel
+// mid-run; distinct seeds give distinct keys.
+func slowSpec(seed uint64) JobSpec {
+	return JobSpec{
+		Bench:  "SSSP",
+		Config: ConfigSpec{Threads: 2, Minnow: true, Prefetch: true, Scale: 2, Seed: seed},
+	}
+}
+
+// TestCancelQueuedJob pins the immediate-cancel path: a queued job is
+// terminal before DELETE returns, never simulates, and cancellation is
+// idempotent; unknown IDs are 404.
+func TestCancelQueuedJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1})
+	blocker := submit(t, ts.URL, slowSpec(1)) // occupies the only shard
+	victim := submit(t, ts.URL, smallSpec(2))
+
+	code, v := cancelJob(t, ts.URL, victim.ID)
+	if code != http.StatusOK || v.Status != StatusCanceled {
+		t.Fatalf("DELETE queued job = %d %+v, want 200 canceled", code, v)
+	}
+	// Idempotent: a second DELETE returns the terminal view unchanged.
+	if code, v = cancelJob(t, ts.URL, victim.ID); code != http.StatusOK || v.Status != StatusCanceled {
+		t.Fatalf("second DELETE = %d %+v", code, v)
+	}
+	if code, _ := cancelJob(t, ts.URL, "j-999"); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d, want 404", code)
+	}
+
+	if fin := await(t, ts.URL, blocker.ID); fin.Status != StatusDone {
+		t.Fatalf("blocker perturbed by cancel: %+v", fin)
+	}
+	text := s.MetricsText()
+	if sims := metric(t, text, "minnowd_sims_total"); sims != 1 {
+		t.Fatalf("canceled queued job simulated: sims = %v, want 1", sims)
+	}
+	if c := metric(t, text, `minnowd_jobs_total{status="canceled"}`); c != 1 {
+		t.Fatalf("canceled counter = %v, want 1", c)
+	}
+}
+
+// TestCancelRunningJob pins the cooperative mid-run cancel: DELETE on a
+// running job stops the simulation within one cancel-poll interval,
+// the terminal status is canceled, and nothing is written to the cache.
+func TestCancelRunningJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1})
+	v := submit(t, ts.URL, slowSpec(1))
+
+	// Wait until the shard actually picks it up.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		cur, ok := s.Job(v.ID, false)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if cur.Status == StatusRunning {
+			break
+		}
+		if terminal(cur.Status) {
+			t.Fatalf("job finished before it could be canceled: %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, _ := cancelJob(t, ts.URL, v.ID); code != http.StatusOK {
+		t.Fatalf("DELETE running job = %d", code)
+	}
+	fin := await(t, ts.URL, v.ID)
+	if fin.Status != StatusCanceled {
+		t.Fatalf("canceled running job ended %q, want canceled", fin.Status)
+	}
+	if _, ok := s.Cache().Get(v.Key); ok {
+		t.Fatal("canceled run wrote a cache entry")
+	}
+	if c := metric(t, s.MetricsText(), `minnowd_jobs_total{status="canceled"}`); c != 1 {
+		t.Fatalf("canceled counter = %v, want 1", c)
+	}
+}
+
+// TestCancelIsPerSubmission pins singleflight cancellation semantics:
+// canceling a coalesced follower detaches only it, and canceling a
+// queued primary hands the flight to the oldest follower — the
+// surviving submissions still get the result.
+func TestCancelIsPerSubmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1})
+	blocker := submit(t, ts.URL, slowSpec(1)) // holds the shard so the rest queue
+	prim := submit(t, ts.URL, smallSpec(2))
+	fol1 := submit(t, ts.URL, smallSpec(2))
+	fol2 := submit(t, ts.URL, smallSpec(2))
+	if !fol1.Cached || !fol2.Cached {
+		t.Fatalf("duplicates did not coalesce: %+v %+v", fol1, fol2)
+	}
+
+	// Follower detach: fol1 cancels alone, the flight survives.
+	if _, v := cancelJob(t, ts.URL, fol1.ID); v.Status != StatusCanceled {
+		t.Fatalf("follower cancel: %+v", v)
+	}
+	// Carrier hand-off: canceling the queued primary promotes fol2.
+	if _, v := cancelJob(t, ts.URL, prim.ID); v.Status != StatusCanceled {
+		t.Fatalf("primary cancel: %+v", v)
+	}
+	fin := await(t, ts.URL, fol2.ID)
+	if fin.Status != StatusDone || fin.SummaryHash == "" {
+		t.Fatalf("surviving follower did not get the result: %+v", fin)
+	}
+	if v := await(t, ts.URL, prim.ID); v.Status != StatusCanceled {
+		t.Fatalf("canceled primary resurrected: %+v", v)
+	}
+	if v := await(t, ts.URL, fol1.ID); v.Status != StatusCanceled {
+		t.Fatalf("canceled follower resurrected: %+v", v)
+	}
+	await(t, ts.URL, blocker.ID)
+	// The flight ran exactly once for the survivor (plus the blocker).
+	if sims := metric(t, s.MetricsText(), "minnowd_sims_total"); sims != 2 {
+		t.Fatalf("sims = %v, want 2 (blocker + surviving flight)", sims)
+	}
+}
+
+// TestRetryAfterHeader pins the backpressure contract: 429 (queue
+// full) and 503 (draining) both carry a Retry-After header.
+func TestRetryAfterHeader(t *testing.T) {
+	s, err := New(Config{Shards: 1, QueueLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit(t, ts.URL, slowSpec(1))  // running
+	submit(t, ts.URL, smallSpec(2)) // fills the 1-slot queue
+	body, _ := json.Marshal(smallSpec(3))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit POST = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 Retry-After = %q, want \"1\"", ra)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp2, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST = %d, want 503", resp2.StatusCode)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra != "5" {
+		t.Fatalf("503 Retry-After = %q, want \"5\"", ra)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// copyTree copies the journal + cache state into a fresh directory —
+// the in-process stand-in for what a kill -9 leaves on disk. It runs
+// while the source server is still appending, so it also exercises the
+// torn-tail tolerance of replay.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecovery is the durability contract end to end: jobs
+// accepted by a server that "crashes" (its on-disk state snapshotted
+// mid-run, exactly what kill -9 leaves behind) are fully reconstructed
+// by a restart — completed jobs serve from the cache, never-completed
+// jobs re-run to the byte-identical SummaryHash an uninterrupted run
+// produces, canceled jobs stay canceled, and a second restart changes
+// nothing (replay is idempotent).
+func TestCrashRecovery(t *testing.T) {
+	dir1 := t.TempDir()
+	cfg1 := Config{
+		Shards:        1,
+		CacheDir:      filepath.Join(dir1, "cache"),
+		JournalPath:   filepath.Join(dir1, "journal.jsonl"),
+		ProgressEvery: 20000,
+	}
+	s1, err := New(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// Jobs: one finishes pre-crash, one is canceled pre-crash, the rest
+	// are lost mid-queue/mid-run.
+	finished := submit(t, ts1.URL, smallSpec(1))
+	await(t, ts1.URL, finished.ID)
+	running := submit(t, ts1.URL, slowSpec(2))
+	queuedA := submit(t, ts1.URL, smallSpec(3))
+	queuedB := submit(t, ts1.URL, smallSpec(4))
+	canceled := submit(t, ts1.URL, smallSpec(5))
+	if code, v := cancelJob(t, ts1.URL, canceled.ID); code != 200 || v.Status != StatusCanceled {
+		t.Fatalf("pre-crash cancel: %d %+v", code, v)
+	}
+
+	// "Crash": snapshot the disk state while s1 is mid-simulation, then
+	// abandon s1 (its teardown is deferred; the snapshot is the truth).
+	dir2 := t.TempDir()
+	copyTree(t, dir1, dir2)
+	ts1.Close()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		s1.Shutdown(ctx)
+	}()
+
+	// Restart over the snapshot.
+	cfg2 := cfg1
+	cfg2.CacheDir = filepath.Join(dir2, "cache")
+	cfg2.JournalPath = filepath.Join(dir2, "journal.jsonl")
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+
+	rec := s2.Recovery()
+	if rec.Completed < 1 {
+		t.Fatalf("recovery served %d completed jobs, want >= 1 (the pre-crash done job): %+v", rec.Completed, rec)
+	}
+	if rec.Requeued < 3 {
+		t.Fatalf("recovery requeued %d jobs, want >= 3 (running + 2 queued): %+v", rec.Requeued, rec)
+	}
+
+	// The finished job survives with its result; the canceled one stays
+	// canceled and was not re-run.
+	if v, ok := s2.Job(finished.ID, false); !ok || v.Status != StatusDone || !v.Recovered {
+		t.Fatalf("pre-crash done job after restart: ok=%v %+v", ok, v)
+	}
+	if v, ok := s2.Job(canceled.ID, false); !ok || v.Status != StatusCanceled {
+		t.Fatalf("pre-crash canceled job after restart: ok=%v %+v", ok, v)
+	}
+
+	// Every lost job re-runs to the hash an uninterrupted control run
+	// produces — the recovery-is-verifiable contract.
+	for _, c := range []struct {
+		id   string
+		spec JobSpec
+	}{{running.ID, slowSpec(2)}, {queuedA.ID, smallSpec(3)}, {queuedB.ID, smallSpec(4)}} {
+		v := await(t, ts2.URL, c.id)
+		if v.Status != StatusDone {
+			t.Fatalf("recovered job %s ended %q: %+v", c.id, v.Status, v)
+		}
+		if !v.Recovered {
+			t.Fatalf("re-run job %s not flagged recovered", c.id)
+		}
+		control, err := minnow.Run(c.spec.Bench, c.spec.Config.ToConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.SummaryHash != control.SummaryHash {
+			t.Fatalf("recovered job %s hash %s != uninterrupted control %s", c.id, v.SummaryHash, control.SummaryHash)
+		}
+	}
+	if c := metric(t, s2.MetricsText(), "minnowd_cache_conflicts_total"); c != 0 {
+		t.Fatalf("recovery produced %v cache conflicts", c)
+	}
+
+	// Idempotency: a third server over the same (now fully terminal)
+	// state replays everything as completed and simulates nothing.
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelCtx()
+	ts2.Close()
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s3.Shutdown(ctx)
+	}()
+	rec3 := s3.Recovery()
+	if rec3.Requeued != 0 {
+		t.Fatalf("double restart requeued %d jobs, want 0: %+v", rec3.Requeued, rec3)
+	}
+	if v, ok := s3.Job(queuedA.ID, false); !ok || v.Status != StatusDone {
+		t.Fatalf("double restart lost job state: ok=%v %+v", ok, v)
+	}
+	if sims := metric(t, s3.MetricsText(), "minnowd_sims_total"); sims != 0 {
+		t.Fatalf("double restart simulated %v times, want 0", sims)
+	}
+}
+
+// TestSSESubscriberNoLeak pins the stream lifecycle: 100 abrupt
+// subscribe/disconnect cycles against a live job leave no subscriber
+// channels and no goroutines behind.
+func TestSSESubscriberNoLeak(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, ProgressEvery: 20000})
+	blocker := submit(t, ts.URL, slowSpec(1)) // keeps the shard busy
+	target := submit(t, ts.URL, smallSpec(2)) // stays queued: streams attach and wait
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/jobs/"+target.ID+"/stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Abrupt disconnect: cancel the request mid-stream, read nothing.
+		cancel()
+		resp.Body.Close()
+	}
+	// Handlers unwind asynchronously; give them a bounded moment.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		s.mu.Lock()
+		subs := len(s.jobs[target.ID].subs)
+		s.mu.Unlock()
+		if subs == 0 && runtime.NumGoroutine() <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak after 100 subscribe/disconnect cycles: %d subscriber channels, %d goroutines (baseline %d)",
+				subs, runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	await(t, ts.URL, blocker.ID)
+	await(t, ts.URL, target.ID)
+}

@@ -4,14 +4,26 @@ import (
 	"container/heap"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"slices"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minnow"
 	"minnow/internal/service/cache"
+	"minnow/internal/service/journal"
 )
+
+// checkpointEverySamples is how many interval samples pass between
+// journaled progress checkpoints. Checkpoints ride the observe-only
+// sampling cadence (MetricsEvery / -progress-every), so they never
+// participate in the cache key or perturb results; thinning them 8:1
+// keeps the journal small on long chatty runs.
+const checkpointEverySamples = 8
 
 // Config parameterizes a Server. The zero value is a working
 // memory-cached server sized by minnow.SplitBudget.
@@ -25,8 +37,22 @@ type Config struct {
 	// changes results or cache keys.
 	IntraJobs int
 	// CacheDir persists the result cache under this directory so it
-	// survives restarts; "" keeps the cache in memory only.
+	// survives restarts; "" keeps the cache in memory only. An unusable
+	// directory degrades the cache to memory-only instead of failing
+	// startup (see cache.NewDisk).
 	CacheDir string
+	// CacheMaxBytes bounds the result cache to a byte budget with LRU
+	// eviction (0 = unbounded). Eviction is a plain miss — determinism
+	// means an evicted configuration re-simulates to the identical
+	// result and re-enters the cache without conflict.
+	CacheMaxBytes int64
+	// JournalPath, when set, opens the durable job journal at this file:
+	// every accepted job is recorded before the API acknowledges it and
+	// its terminal outcome fsync'd when reached, so a kill -9 loses
+	// nothing — on the next start the journal replays, never-completed
+	// jobs re-enqueue, and completed ones serve from the cache. "" runs
+	// without durability (a restart forgets in-flight jobs, as before).
+	JournalPath string
 	// QueueLimit bounds the number of queued-but-not-running jobs;
 	// submissions beyond it are refused with 429. 0 selects 65536.
 	QueueLimit int
@@ -38,9 +64,10 @@ type Config struct {
 	MaxCycles int64
 	// ProgressEvery is applied to submitted configs that leave
 	// MetricsEvery 0: the interval-metrics sampling cadence in simulated
-	// cycles, which is also what feeds /jobs/{id}/stream. Observe-only —
-	// never changes results or cache keys. 0 leaves sampling off for
-	// jobs that did not ask for it.
+	// cycles, which is also what feeds /jobs/{id}/stream and the
+	// journal's progress checkpoints. Observe-only — never changes
+	// results or cache keys. 0 leaves sampling off for jobs that did not
+	// ask for it.
 	ProgressEvery int64
 }
 
@@ -57,11 +84,35 @@ type job struct {
 	status    string
 	cached    bool
 	coalesced bool
+	recovered bool
+	// journaled marks jobs with a submit record in the journal; only
+	// those get lifecycle records (born-done cache hits are never
+	// journaled — the response already carried the result).
+	journaled bool
 	errMsg    string
 	entry     *cache.Entry
+	// hash is the SummaryHash recovered from the journal for jobs whose
+	// cache entry has since been evicted; viewLocked falls back to it.
+	hash string
 
 	queuedAt time.Time
 	doneAt   time.Time
+
+	// cancelFlag, when set, is observed by the running simulation's
+	// cancel hook within one poll interval; the run stops with
+	// minnow.ErrCanceled and writes nothing to the cache.
+	cancelFlag atomic.Bool
+	// flightStatus is the status of the underlying simulation flight
+	// (primary only). It diverges from status when the primary's own
+	// submission is canceled while coalesced followers keep the
+	// simulation alive — new duplicates coalesce against flightStatus.
+	flightStatus string
+	// checkpointCycles is the simulated cycle stamp of the latest
+	// interval sample (primary only), journaled every
+	// checkpointEverySamples samples.
+	checkpointCycles int64
+	// samples counts interval samples seen (primary only).
+	samples int64
 
 	// primary, when non-nil, is the in-flight job this submission
 	// coalesced onto (singleflight follower).
@@ -104,12 +155,27 @@ func (q *jobQueue) Push(x any) { *q = append(*q, x.(*job)) }
 // interface).
 func (q *jobQueue) Pop() any { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
 
+// RecoveryStats summarizes what a journal replay reconstructed at
+// startup (Server.Recovery).
+type RecoveryStats struct {
+	// Requeued is how many never-completed jobs went back on the queue.
+	Requeued int
+	// Completed is how many replayed jobs were served straight from the
+	// cache (their own done record, or an identical job's entry).
+	Completed int
+	// Terminal is how many jobs were restored in a failed or canceled
+	// state (registered for GET /jobs/{id}, nothing re-run).
+	Terminal int
+}
+
 // Server is one minnowd instance: HTTP façade, priority queue, worker
-// shards, and the content-addressed result cache.
+// shards, the content-addressed result cache, and the optional durable
+// job journal.
 type Server struct {
 	cfg    Config
 	shards int
 	cache  *cache.Cache
+	jl     *journal.Journal
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -120,13 +186,16 @@ type Server struct {
 	busy     int
 	draining bool
 	m        counters
+	rec      RecoveryStats
 
 	wg sync.WaitGroup // worker shards
 }
 
 // New builds a Server, opens (or creates) the disk cache when
-// Config.CacheDir is set, and starts the worker shards. Callers serve
-// its Handler and eventually call Shutdown.
+// Config.CacheDir is set and the journal when Config.JournalPath is
+// set, replays the journal — re-enqueueing never-completed jobs and
+// serving completed ones from the cache — and starts the worker shards.
+// Callers serve its Handler and eventually call Shutdown.
 func New(cfg Config) (*Server, error) {
 	shards, intra := minnow.SplitBudget(cfg.Shards, cfg.IntraJobs)
 	cfg.IntraJobs = intra
@@ -147,12 +216,144 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cache = c
 	}
+	if cfg.CacheMaxBytes > 0 {
+		s.cache.SetBudget(cfg.CacheMaxBytes)
+	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.JournalPath != "" {
+		jl, recs, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.jl = jl
+		s.replay(recs)
+	}
 	for i := 0; i < shards; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replay reconstructs jobs from journal records: terminal jobs are
+// re-registered so GET /jobs/{id} keeps answering, done jobs reattach
+// their cache entry, and never-completed jobs go back on the queue
+// (coalescing duplicates exactly like live submissions). Runs before
+// the worker shards start, so no lock is needed; replay appends nothing
+// to the journal, which makes a double restart a no-op — the
+// idempotency the recovery test pins.
+func (s *Server) replay(recs []journal.Record) {
+	type state struct {
+		submit  journal.Record
+		last    journal.Op
+		cycles  int64
+		samples int64
+		hash    string
+		errMsg  string
+	}
+	states := make(map[string]*state)
+	var order []string
+	for _, r := range recs {
+		st, ok := states[r.ID]
+		if !ok {
+			if r.Op != journal.OpSubmit {
+				continue // start/terminal for a submit lost to a torn line
+			}
+			st = &state{submit: r}
+			states[r.ID] = st
+			order = append(order, r.ID)
+		}
+		st.last = r.Op
+		switch r.Op {
+		case journal.OpCheckpoint:
+			st.cycles, st.samples = r.Cycles, r.Samples
+		case journal.OpDone:
+			st.hash = r.Hash
+		case journal.OpFailed, journal.OpCanceled:
+			st.errMsg = r.Error
+		}
+	}
+	for _, id := range order {
+		st := states[id]
+		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "j-"), 10, 64); err == nil && n > s.seq {
+			s.seq = n
+		}
+		j := &job{
+			id:               id,
+			bench:            st.submit.Bench,
+			key:              st.submit.Key,
+			priority:         st.submit.Priority,
+			recovered:        true,
+			journaled:        true,
+			checkpointCycles: st.cycles,
+			samples:          st.samples,
+			queuedAt:         time.Now(),
+			done:             make(chan struct{}),
+		}
+		s.jobs[id] = j
+		switch st.last {
+		case journal.OpDone:
+			j.status, j.flightStatus = StatusDone, StatusDone
+			j.cached, j.hash = true, st.hash
+			if e, ok := s.cache.Get(st.submit.Key); ok {
+				j.entry = e
+			}
+			s.rec.Completed++
+			close(j.done)
+		case journal.OpFailed:
+			j.status, j.flightStatus = StatusFailed, StatusFailed
+			j.errMsg = st.errMsg
+			s.rec.Terminal++
+			close(j.done)
+		case journal.OpCanceled:
+			j.status, j.flightStatus = StatusCanceled, StatusCanceled
+			j.errMsg = st.errMsg
+			s.rec.Terminal++
+			close(j.done)
+		default: // submit, start, or checkpoint: the job never finished
+			var spec ConfigSpec
+			if err := json.Unmarshal(st.submit.Spec, &spec); err != nil {
+				j.status, j.flightStatus = StatusFailed, StatusFailed
+				j.errMsg = "service: journal spec unreadable: " + err.Error()
+				s.rec.Terminal++
+				close(j.done)
+				continue
+			}
+			j.cfg = spec.ToConfig()
+			j.seq = s.seq // preserves journal order within a priority
+			_, j.keyJSON = CacheKey(j.bench, j.cfg)
+			// An identical job may have completed while this one was
+			// lost: replay checks the cache exactly like a fresh Submit.
+			if e, ok := s.cache.Get(j.key); ok && e.Covers(j.cfg.Timeline, j.cfg.Profile) {
+				j.status, j.flightStatus = StatusDone, StatusDone
+				j.cached = true
+				j.entry = e
+				s.rec.Completed++
+				close(j.done)
+				continue
+			}
+			if p, ok := s.inflight[j.key]; ok && p.cfg.Timeline == j.cfg.Timeline && p.cfg.Profile == j.cfg.Profile {
+				j.coalesced, j.cached = true, true
+				j.primary = p
+				j.status = StatusQueued
+				p.followers = append(p.followers, j)
+				s.rec.Requeued++
+				continue
+			}
+			j.status, j.flightStatus = StatusQueued, StatusQueued
+			s.inflight[j.key] = j
+			heap.Push(&s.queue, j)
+			s.rec.Requeued++
+		}
+	}
+}
+
+// Recovery returns what the startup journal replay reconstructed
+// (zero-valued when no journal is configured).
+func (s *Server) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
 }
 
 // Shards returns the worker pool width the server resolved at startup.
@@ -161,11 +362,22 @@ func (s *Server) Shards() int { return s.shards }
 // Cache exposes the result store (tests and operators inspect it).
 func (s *Server) Cache() *cache.Cache { return s.cache }
 
+// journalLocked appends one record, counting (never propagating)
+// failures: durability degrades, the job still runs. Callers hold s.mu.
+func (s *Server) journalLocked(r journal.Record, sync bool) {
+	if s.jl == nil {
+		return
+	}
+	if err := s.jl.Append(r, sync); err != nil {
+		s.m.journalErrs++
+	}
+}
+
 // Shutdown drains the server: new submissions are refused with 503,
 // worker shards finish every already-accepted job (queued and running),
-// then exit. If ctx expires first, still-queued jobs are canceled and
-// ctx's error is returned; jobs mid-simulation cannot be interrupted
-// beyond their watchdog bound.
+// then exit, and the journal is closed. If ctx expires first,
+// still-queued jobs are canceled and ctx's error is returned; jobs
+// mid-simulation cannot be interrupted beyond their watchdog bound.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -174,9 +386,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	drained := make(chan struct{})
 	go func() { s.wg.Wait(); close(drained) }()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		for s.queue.Len() > 0 {
@@ -186,13 +398,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.jl != nil {
+		s.jl.Close()
+	}
+	return err
 }
 
 // Submit validates and registers one job, returning its API view. The
 // fast paths — validation failure, cache hit, singleflight coalesce —
-// never touch the queue.
+// never touch the queue. Accepted jobs (queued and coalesced) are
+// journaled with an fsync before the call returns, so the submission
+// survives a crash from the moment the API acknowledges it; born-done
+// cache hits are not journaled (the response already carried the
+// result, and replaying one would pointlessly re-register it).
 func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	if !slices.Contains(minnow.Benchmarks(), spec.Bench) {
 		return JobView{}, &RequestError{Code: 400, Msg: fmt.Sprintf("service: Bench: unknown benchmark %q (have %v)", spec.Bench, minnow.Benchmarks())}
@@ -219,7 +439,7 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return JobView{}, &RequestError{Code: 503, Msg: "service: draining, not accepting jobs"}
+		return JobView{}, &RequestError{Code: 503, Msg: "service: draining, not accepting jobs", RetryAfter: 5}
 	}
 	s.seq++
 	j := &job{
@@ -247,26 +467,165 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	// running; attach to it instead of simulating twice. The primary
 	// must cover this job's artifact needs — a timeline-requesting
 	// duplicate of a timeline-less run simulates separately (and
-	// upgrades the cache entry it shares).
+	// upgrades the cache entry it shares). Coalescing keys off the
+	// flight's status, not the primary's own — a primary whose
+	// submission was canceled can still be carrying a live simulation
+	// for its followers.
 	if p, ok := s.inflight[key]; ok && p.cfg.Timeline == cfg.Timeline && p.cfg.Profile == cfg.Profile {
 		s.m.coalesced++
 		j.coalesced, j.cached = true, true
 		j.primary = p
-		j.status = p.status
+		j.status = p.flightStatus
 		p.followers = append(p.followers, j)
+		j.journaled = true
+		s.journalLocked(s.submitRecord(j), true)
 		return s.viewLocked(j, false), nil
 	}
 
 	if s.queue.Len() >= s.cfg.QueueLimit {
 		delete(s.jobs, j.id)
 		s.m.submitted--
-		return JobView{}, &RequestError{Code: 429, Msg: fmt.Sprintf("service: queue full (%d jobs)", s.queue.Len())}
+		return JobView{}, &RequestError{Code: 429, Msg: fmt.Sprintf("service: queue full (%d jobs)", s.queue.Len()), RetryAfter: 1}
 	}
-	j.status = StatusQueued
+	j.status, j.flightStatus = StatusQueued, StatusQueued
 	s.inflight[key] = j
 	heap.Push(&s.queue, j)
+	j.journaled = true
+	s.journalLocked(s.submitRecord(j), true)
 	s.cond.Signal()
 	return s.viewLocked(j, false), nil
+}
+
+// submitRecord builds a job's journal submit record: everything replay
+// needs to re-run it without the original HTTP request.
+func (s *Server) submitRecord(j *job) journal.Record {
+	spec, err := json.Marshal(specFromConfig(j.cfg))
+	if err != nil {
+		spec = nil // ConfigSpec is plain data; Marshal cannot fail
+	}
+	return journal.Record{
+		Op:       journal.OpSubmit,
+		ID:       j.id,
+		Bench:    j.bench,
+		Key:      j.key,
+		Priority: j.priority,
+		Spec:     spec,
+	}
+}
+
+// Cancel cancels one job. Queued jobs (and coalesced followers) leave
+// the queue immediately; a running job's simulation observes its cancel
+// flag within one cancel-poll interval, stops, and writes nothing to
+// the cache. Cancellation is per-submission: canceling a job that
+// identical submissions coalesced onto detaches only the canceling
+// submission — the simulation keeps running for the survivors (a queued
+// carrier hands its flight to the oldest follower). Terminal jobs are
+// returned unchanged (idempotent); unknown IDs return 404.
+func (s *Server) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, &RequestError{Code: 404, Msg: "service: unknown job " + id}
+	}
+	if terminal(j.status) {
+		return s.viewLocked(j, false), nil
+	}
+	const reason = "service: canceled by client"
+	switch {
+	case j.primary != nil:
+		// Follower: detach from the flight and finalize alone.
+		p := j.primary
+		if i := slices.Index(p.followers, j); i >= 0 {
+			p.followers = slices.Delete(p.followers, i, i+1)
+		}
+		s.cancelJobLocked(j, reason)
+		// If the carrier's own submission was already canceled and this
+		// was the last live follower, nobody wants the flight: stop it.
+		if terminal(p.status) && !s.flightLiveLocked(p) {
+			if p.flightStatus == StatusRunning {
+				p.cancelFlag.Store(true)
+			} else {
+				s.dequeueLocked(p)
+				delete(s.inflight, p.key)
+				p.flightStatus = StatusCanceled
+			}
+		}
+	case j.status == StatusQueued && len(j.followers) > 0:
+		// Queued carrier with followers: the flight must still run. Hand
+		// it to the oldest follower and cancel only this submission.
+		f := j.followers[0]
+		rest := j.followers[1:]
+		j.followers = nil
+		f.primary = nil
+		f.followers = append(f.followers, rest...)
+		for _, x := range rest {
+			x.primary = f
+		}
+		f.status, f.flightStatus = StatusQueued, StatusQueued
+		f.lastSample = j.lastSample
+		f.subs = append(f.subs, j.subs...)
+		j.subs = nil
+		s.dequeueLocked(j)
+		heap.Push(&s.queue, f)
+		s.inflight[j.key] = f
+		s.cancelJobLocked(j, reason)
+		s.cond.Signal()
+	case j.status == StatusQueued:
+		// Queued, nobody else attached: gone immediately.
+		s.dequeueLocked(j)
+		delete(s.inflight, j.key)
+		j.flightStatus = StatusCanceled
+		s.cancelJobLocked(j, reason)
+	default: // running primary
+		if s.flightLiveLocked(j) {
+			// Followers still want the result: cancel only this
+			// submission, keep simulating.
+			s.cancelJobLocked(j, reason)
+		} else {
+			// Sole interested party: stop the simulation. execute()
+			// observes minnow.ErrCanceled and finalizes the flight;
+			// status stays "running" until the poll fires.
+			j.cancelFlag.Store(true)
+		}
+	}
+	return s.viewLocked(j, false), nil
+}
+
+// flightLiveLocked reports whether any follower of p still wants p's
+// result (is non-terminal). Callers hold s.mu.
+func (s *Server) flightLiveLocked(p *job) bool {
+	for _, f := range p.followers {
+		if !terminal(f.status) {
+			return true
+		}
+	}
+	return false
+}
+
+// dequeueLocked removes a job from the pending heap if present.
+// Callers hold s.mu.
+func (s *Server) dequeueLocked(j *job) {
+	for i, x := range s.queue {
+		if x == j {
+			heap.Remove(&s.queue, i)
+			return
+		}
+	}
+}
+
+// cancelJobLocked finalizes one submission as canceled — terminal
+// status, journal record, metrics — without touching the flight it may
+// have been attached to. Callers hold s.mu.
+func (s *Server) cancelJobLocked(j *job, reason string) {
+	j.status = StatusCanceled
+	j.errMsg = reason
+	j.doneAt = time.Now()
+	s.m.observe(StatusCanceled, j.doneAt.Sub(j.queuedAt))
+	if j.journaled {
+		s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: j.id, Error: reason}, true)
+	}
+	close(j.done)
 }
 
 // Job returns the API view of one job; full includes the complete
@@ -324,7 +683,7 @@ func (s *Server) Subscribe(id string) (ch <-chan ProgressEvent, done <-chan stru
 	if target.lastSample != nil {
 		c <- *target.lastSample
 	}
-	if target.status == StatusDone || target.status == StatusFailed || target.status == StatusCanceled {
+	if terminal(target.flightStatus) || terminal(j.status) {
 		close(c)
 		return c, j.done, func() {}, true
 	}
@@ -357,12 +716,18 @@ func (s *Server) worker() {
 			return
 		}
 		j := heap.Pop(&s.queue).(*job)
-		j.status = StatusRunning
+		j.flightStatus = StatusRunning
+		if !terminal(j.status) {
+			j.status = StatusRunning
+		}
 		for _, f := range j.followers {
-			f.status = StatusRunning
+			if !terminal(f.status) {
+				f.status = StatusRunning
+			}
 		}
 		s.busy++
 		s.m.sims++
+		s.journalLocked(journal.Record{Op: journal.OpStart, ID: j.id}, false)
 		s.mu.Unlock()
 
 		s.execute(j)
@@ -376,9 +741,12 @@ func (s *Server) worker() {
 // execute runs one primary job through minnow.RunMany — the same
 // harness.RunJobs worker machinery the sweep tools use, so a panicking
 // simulation becomes a per-job error with a stack trace instead of
-// killing the shard — then caches and finalizes.
+// killing the shard — then caches and finalizes. The job's cancel flag
+// is wired to the simulator's cooperative cancel hook: a DELETE flips
+// the flag and the run stops within one poll interval, caching nothing.
 func (s *Server) execute(j *job) {
 	cfg := j.cfg
+	cfg.Cancel = j.cancelFlag.Load
 	if cfg.MetricsEvery > 0 {
 		cfg.OnSample = func(cycles int64, metrics string) {
 			s.publish(j, ProgressEvent{Cycles: cycles, Metrics: metrics})
@@ -388,6 +756,10 @@ func (s *Server) execute(j *job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if errors.Is(res.Err, minnow.ErrCanceled) {
+		s.finalizeLocked(j, StatusCanceled, nil, "service: canceled by client")
+		return
+	}
 	if res.Err != nil {
 		s.finalizeLocked(j, StatusFailed, nil, res.Err.Error())
 		return
@@ -395,6 +767,13 @@ func (s *Server) execute(j *job) {
 	resultJSON, err := json.Marshal(res.Result)
 	if err != nil {
 		s.finalizeLocked(j, StatusFailed, nil, "service: marshal result: "+err.Error())
+		return
+	}
+	if terminal(j.status) && !s.flightLiveLocked(j) {
+		// The run finished before the cancel poll could stop it, but
+		// every attached submission is already canceled: discard the
+		// result without caching — a canceled flight never writes.
+		s.finalizeLocked(j, StatusCanceled, nil, "")
 		return
 	}
 	e := &cache.Entry{
@@ -417,13 +796,24 @@ func (s *Server) execute(j *job) {
 	s.finalizeLocked(j, StatusDone, e, "")
 }
 
-// publish fans one progress sample out to a job's stream subscribers.
-// Runs on the simulation goroutine: copy under the lock, non-blocking
-// sends, nothing else.
+// publish fans one progress sample out to a job's stream subscribers
+// and advances the journal's progress checkpoint. Runs on the
+// simulation goroutine: copy under the lock, non-blocking sends,
+// nothing else.
 func (s *Server) publish(j *job, ev ProgressEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.lastSample = &ev
+	j.checkpointCycles = ev.Cycles
+	j.samples++
+	if j.samples%checkpointEverySamples == 0 {
+		// Unsynced: a lost checkpoint only loses a progress report — the
+		// job re-runs after a crash either way.
+		s.journalLocked(journal.Record{
+			Op: journal.OpCheckpoint, ID: j.id,
+			Cycles: ev.Cycles, Samples: j.samples,
+		}, false)
+	}
 	for _, c := range j.subs {
 		select {
 		case c <- ev:
@@ -432,21 +822,37 @@ func (s *Server) publish(j *job, ev ProgressEvent) {
 	}
 }
 
-// finalizeLocked moves a job (and its coalesced followers) to a
-// terminal status, updates latency metrics, releases the singleflight
-// slot, and closes stream subscriptions. Callers hold s.mu.
+// finalizeLocked moves a flight — primary and coalesced followers — to
+// a terminal status, updates latency metrics, journals each
+// submission's outcome, releases the singleflight slot, and closes
+// stream subscriptions. Submissions already individually canceled are
+// skipped. Callers hold s.mu.
 func (s *Server) finalizeLocked(j *job, status string, e *cache.Entry, errMsg string) {
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
 	}
+	j.flightStatus = status
 	all := append([]*job{j}, j.followers...)
 	now := time.Now()
 	for _, x := range all {
+		if terminal(x.status) {
+			continue // canceled individually before the flight resolved
+		}
 		x.status = status
 		x.entry = e
 		x.errMsg = errMsg
 		x.doneAt = now
 		s.m.observe(status, now.Sub(x.queuedAt))
+		if x.journaled {
+			switch status {
+			case StatusDone:
+				s.journalLocked(journal.Record{Op: journal.OpDone, ID: x.id, Hash: e.SummaryHash}, true)
+			case StatusFailed:
+				s.journalLocked(journal.Record{Op: journal.OpFailed, ID: x.id, Error: errMsg}, true)
+			case StatusCanceled:
+				s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: x.id, Error: errMsg}, true)
+			}
+		}
 		close(x.done)
 	}
 	for _, c := range j.subs {
@@ -458,14 +864,19 @@ func (s *Server) finalizeLocked(j *job, status string, e *cache.Entry, errMsg st
 // viewLocked renders a job's API view. Callers hold s.mu.
 func (s *Server) viewLocked(j *job, full bool) JobView {
 	v := JobView{
-		ID:        j.id,
-		Bench:     j.bench,
-		Key:       j.key,
-		Status:    j.status,
-		Cached:    j.cached,
-		Coalesced: j.coalesced,
-		Priority:  j.priority,
-		Error:     j.errMsg,
+		ID:               j.id,
+		Bench:            j.bench,
+		Key:              j.key,
+		Status:           j.status,
+		Cached:           j.cached,
+		Coalesced:        j.coalesced,
+		Recovered:        j.recovered,
+		CheckpointCycles: j.checkpointCycles,
+		Priority:         j.priority,
+		Error:            j.errMsg,
+	}
+	if j.primary != nil {
+		v.CheckpointCycles = j.primary.checkpointCycles
 	}
 	if j.entry != nil {
 		v.SummaryHash = j.entry.SummaryHash
@@ -473,6 +884,10 @@ func (s *Server) viewLocked(j *job, full bool) JobView {
 		if full {
 			v.Result = j.entry.Result
 		}
+	} else if j.hash != "" {
+		// Recovered done job whose cache entry was since evicted: the
+		// hash survives in the journal even though the payload is gone.
+		v.SummaryHash = j.hash
 	}
 	return v
 }
@@ -484,6 +899,10 @@ type RequestError struct {
 	// Msg is the plain-text body (for validation failures, the
 	// minnow.Config.Validate message verbatim).
 	Msg string
+	// RetryAfter, when positive, is served as a Retry-After header (in
+	// seconds) so well-behaved clients back off instead of hot-looping
+	// on 429 (queue full) and 503 (draining).
+	RetryAfter int
 }
 
 // Error returns the message.

@@ -142,6 +142,7 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 		workers = 1
 	}
 	e.halted = false
+	e.canceled = false
 	pool := newBoundPool(workers)
 	defer pool.close()
 	var bound []*entry
@@ -159,6 +160,13 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 			e.wdNext = e.steps + e.wdEvery
 			if e.wdFn() {
 				e.halted = true
+				return e.foldFrontier(boundMax), false
+			}
+		}
+		if e.cnFn != nil && e.steps >= e.cnNext {
+			e.cnNext = e.steps + e.cnEvery
+			if e.cnFn() {
+				e.canceled = true
 				return e.foldFrontier(boundMax), false
 			}
 		}
@@ -240,6 +248,13 @@ func (e *Engine) RunParallel(maxSteps int64, window Time, workers int) (Time, bo
 				e.wdNext = e.steps + e.wdEvery
 				if e.wdFn() {
 					e.halted = true
+					return e.foldFrontier(boundMax), false
+				}
+			}
+			if e.cnFn != nil && e.steps >= e.cnNext {
+				e.cnNext = e.steps + e.cnEvery
+				if e.cnFn() {
+					e.canceled = true
 					return e.foldFrontier(boundMax), false
 				}
 			}

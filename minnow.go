@@ -107,6 +107,14 @@ type Config struct {
 	// Requires MetricsEvery > 0. The callback must not mutate simulation
 	// state; it runs on the simulation goroutine.
 	OnSample func(cycles int64, metrics string)
+	// Cancel, when non-nil, is a cooperative cancellation hook polled on
+	// the watchdog cadence (every few tens of thousands of actor steps).
+	// When it returns true the run is abandoned: Run returns an error
+	// wrapping ErrCanceled and no Result. Like OnSample and
+	// CustomPrefetch this is a host-only knob — it is not expressible in
+	// JSON job submissions and is excluded from the service's cache key;
+	// a run the hook never fires on is byte-identical to one without it.
+	Cancel func() bool
 
 	// Faults arms the deterministic fault-injection plan: a preset name
 	// ("transient", "offline", "chaos") or a clause expression such as
@@ -332,6 +340,7 @@ func (c Config) toOptions() (harness.Options, error) {
 		Timeline:       c.Timeline,
 		Profile:        c.Profile,
 		OnSample:       c.OnSample,
+		Cancel:         c.Cancel,
 		Invariants:     c.Invariants,
 		MaxCycles:      c.MaxCycles,
 		IntraJobs:      c.IntraJobs,
@@ -360,6 +369,11 @@ func (c Config) toOptions() (harness.Options, error) {
 	}
 	return o, nil
 }
+
+// ErrCanceled reports that a run was abandoned by the Config.Cancel
+// hook. Errors returned by Run and RunGraph wrap it, so hosts can
+// distinguish cancellation from real failures with errors.Is.
+var ErrCanceled = harness.ErrCanceled
 
 // Run simulates one benchmark under the configuration and verifies its
 // result against the reference implementation.

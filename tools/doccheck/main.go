@@ -34,6 +34,7 @@ var defaultDirs = []string{
 	"internal/inspect",
 	"internal/service",
 	"internal/service/cache",
+	"internal/service/journal",
 }
 
 func main() {
