@@ -8,11 +8,14 @@
 // sweep cells dedupe to their unique configurations.
 //
 // Concurrency contract: a Cache is safe for concurrent use by any
-// number of goroutines; every method takes the internal mutex. Disk I/O
-// (when a directory is configured) happens inside that critical
-// section, which keeps the load-check-store path atomic at the cost of
-// serializing lookups — acceptable because entries are small relative
-// to the simulations they replace.
+// number of goroutines; every method takes the internal mutex. Put
+// performs its disk write — and any retry backoff on a failing disk —
+// outside the critical section, so a degraded disk never stalls
+// concurrent Gets (or the service API paths that call them); only the
+// in-memory index update and the hash-conflict check run under the
+// mutex. Get's disk fallback read stays inside the critical section,
+// which keeps its load-check-store path atomic — acceptable because a
+// healthy read is small relative to the simulations it replaces.
 //
 // Determinism contract: the cache never mutates stored bytes. Summary
 // and Result are retained as raw JSON exactly as produced by the run
@@ -311,11 +314,18 @@ func (c *Cache) Put(e *Entry) error {
 		return fmt.Errorf("cache: marshal entry: %w", err)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if old, ok := c.mem[e.Key]; ok && old.SummaryHash != e.SummaryHash {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: key %s has %s, incoming %s",
 			ErrHashConflict, e.Key, old.SummaryHash, e.SummaryHash)
 	}
+	c.mu.Unlock()
+
+	// Disk I/O — conflict check against a not-yet-loaded on-disk copy,
+	// then the retried atomic write — runs without the lock, so a slow
+	// or failing disk backs off without stalling concurrent lookups.
+	// c.dir is immutable after construction, safe to read unlocked.
+	var persistErr error
 	if c.dir != "" {
 		// Check the disk copy too: a restart may hold entries memory has
 		// not seen yet.
@@ -326,13 +336,24 @@ func (c *Cache) Put(e *Entry) error {
 					ErrHashConflict, e.Key, old.SummaryHash, e.SummaryHash)
 			}
 		}
-		if err := c.persistLocked(e.Key, b); err != nil {
-			// Transient retries exhausted: keep the result in memory and
-			// flag the degradation instead of failing a finished run.
-			c.degraded = true
-			if c.degradedReason == "" {
-				c.degradedReason = err.Error()
-			}
+		persistErr = c.persist(e.Key, b)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-check: an identical-key Put may have landed while the write was
+	// in flight. Same hash is the normal coalesced-duplicate case; a
+	// differing one is the determinism violation Put exists to surface.
+	if old, ok := c.mem[e.Key]; ok && old.SummaryHash != e.SummaryHash {
+		return fmt.Errorf("%w: key %s has %s, incoming %s",
+			ErrHashConflict, e.Key, old.SummaryHash, e.SummaryHash)
+	}
+	if persistErr != nil {
+		// Transient retries exhausted: keep the result in memory and
+		// flag the degradation instead of failing a finished run.
+		c.degraded = true
+		if c.degradedReason == "" {
+			c.degradedReason = persistErr.Error()
 		}
 	}
 	c.mem[e.Key] = e
@@ -341,11 +362,11 @@ func (c *Cache) Put(e *Entry) error {
 	return nil
 }
 
-// persistLocked writes one marshaled entry to disk atomically (temp
-// file + rename), retrying transient failures with a short backoff.
-// Callers hold c.mu; the sleep inside the critical section is bounded
-// to a few tens of milliseconds and only taken on a failing disk.
-func (c *Cache) persistLocked(key string, b []byte) error {
+// persist writes one marshaled entry to disk atomically (temp file +
+// rename), retrying transient failures with a short backoff. Callers
+// must NOT hold c.mu — the backoff sleeps, and a failing disk must
+// never stall concurrent cache (and therefore API) traffic.
+func (c *Cache) persist(key string, b []byte) error {
 	var last error
 	for attempt := 0; attempt < putRetries; attempt++ {
 		if attempt > 0 {

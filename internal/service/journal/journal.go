@@ -14,8 +14,11 @@
 // the API acknowledges them. Checkpoints are written without sync —
 // losing the last few progress stamps costs nothing, the job re-runs
 // anyway. A crash can leave a torn final line; Open tolerates it (and
-// any other undecodable line) by skipping, so recovery never fails on
-// the artifact of the crash it exists to survive.
+// any other undecodable line) by skipping, and repairs it by
+// terminating the fragment with a newline, so recovery never fails on
+// the artifact of the crash it exists to survive and the first record
+// appended after a restart lands on a fresh line instead of fusing
+// with the fragment.
 //
 // Concurrency contract: a Journal is safe for concurrent use; every
 // Append serializes on an internal mutex. Records for different jobs
@@ -28,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -75,6 +79,11 @@ type Record struct {
 	Key string `json:"key,omitempty"`
 	// Priority is the submitted queue priority (submit records).
 	Priority int `json:"priority,omitempty"`
+	// At is the submission wall-clock time in Unix nanoseconds (submit
+	// records), restored on replay so a recovered job's latency metrics
+	// measure the full submit→terminal sojourn, crash included, instead
+	// of restarting the clock at replay.
+	At int64 `json:"at,omitempty"`
 	// Spec is the resolved ConfigSpec JSON (submit records), everything
 	// replay needs to re-run the job without the original request.
 	Spec json.RawMessage `json:"spec,omitempty"`
@@ -100,8 +109,12 @@ type Journal struct {
 // Open opens (creating if missing) the journal at path and replays its
 // existing records. Undecodable lines — a torn tail from a crash
 // mid-append, manual truncation — are skipped, not fatal: the journal
-// must be readable after exactly the failures it protects against. The
-// returned slice preserves append order.
+// must be readable after exactly the failures it protects against. A
+// torn final line (no trailing newline) is additionally repaired by
+// writing the missing newline, so the first record appended after the
+// crash starts its own line instead of concatenating onto the fragment
+// and being lost as corrupt on the next replay. The returned slice
+// preserves append order.
 func Open(path string) (*Journal, []Record, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -126,9 +139,27 @@ func Open(path string) (*Journal, []Record, error) {
 		return nil, nil, fmt.Errorf("journal: read %s: %w", path, err)
 	}
 	// Appends must land at the end regardless of where the scan stopped.
-	if _, err := f.Seek(0, 2); err != nil {
+	end, err := f.Seek(0, 2)
+	if err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	// Repair a torn tail: if the file does not end in a newline (a crash
+	// mid-append), terminate the fragment so the next Append starts a
+	// fresh line — an fsync-acknowledged record written after a restart
+	// must never fuse with the fragment and vanish on the replay after.
+	if end > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], end-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal: repair torn tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal: repair torn tail: %w", err)
+			}
+		}
 	}
 	return &Journal{f: f, path: path}, recs, nil
 }
@@ -160,6 +191,63 @@ func (j *Journal) Append(r Record, sync bool) error {
 			return fmt.Errorf("journal: sync: %w", err)
 		}
 	}
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with recs —
+// written to a temp file, fsync'd, and renamed over the live path —
+// then reopens the append handle on the new file. The service calls it
+// once per startup, right after replay, with the compacted record set
+// (live jobs plus a bounded tail of terminal ones), so the journal and
+// its replay cost stay proportional to retained state instead of
+// growing with lifetime job count. A crash anywhere inside Rewrite
+// leaves either the old or the new journal intact, never a mix.
+func (j *Journal) Rewrite(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("journal: rewrite: marshal: %w", err)
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("journal: rewrite: %w", err)
+		}
+	}
+	if err := errors.Join(w.Flush(), tmp.Sync(), tmp.Close()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rename landed but the reopen failed: keep appending to the
+		// doomed handle (its writes go nowhere durable) rather than
+		// leaving the journal closed mid-flight.
+		return fmt.Errorf("journal: rewrite: reopen: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	j.f.Close()
+	j.f = f
 	return nil
 }
 

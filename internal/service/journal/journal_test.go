@@ -80,9 +80,10 @@ func TestTornTailTolerated(t *testing.T) {
 	if len(recs) != 1 || recs[0].ID != "j-1" || recs[0].Op != OpSubmit {
 		t.Fatalf("replay after torn tail = %+v, want the one intact record", recs)
 	}
-	// Appending after a torn tail must produce a decodable next line:
-	// the writer seeks to EOF, so the new record shares the torn line,
-	// which replay skips — but the record after that must survive.
+	// Open repairs the torn tail (terminates the fragment with a
+	// newline), so the very FIRST record appended after the
+	// crash-restart must survive the next replay — a lost terminal
+	// record here would resurrect a canceled job.
 	if err := j2.Append(Record{Op: OpCanceled, ID: "j-1"}, true); err != nil {
 		t.Fatal(err)
 	}
@@ -94,14 +95,60 @@ func TestTornTailTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	found := false
-	for _, r := range recs {
-		if r.ID == "j-2" && r.Op == OpSubmit {
-			found = true
+	if len(recs) != 3 {
+		t.Fatalf("replay after repaired torn tail = %d records %+v, want 3", len(recs), recs)
+	}
+	if recs[1].ID != "j-1" || recs[1].Op != OpCanceled {
+		t.Fatalf("first record appended after torn tail lost on replay: %+v", recs)
+	}
+	if recs[2].ID != "j-2" || recs[2].Op != OpSubmit {
+		t.Fatalf("second record appended after torn tail lost on replay: %+v", recs)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := []Record{
+		{Op: OpSubmit, ID: "j-1", Key: "k1"},
+		{Op: OpStart, ID: "j-1"},
+		{Op: OpCheckpoint, ID: "j-1", Cycles: 100},
+		{Op: OpDone, ID: "j-1", Hash: "aa"},
+		{Op: OpSubmit, ID: "j-2", Key: "k2"},
+	}
+	for _, r := range full {
+		if err := j.Append(r, false); err != nil {
+			t.Fatal(err)
 		}
 	}
-	if !found {
-		t.Fatalf("record appended after torn tail lost on replay: %+v", recs)
+	compact := []Record{
+		{Op: OpSubmit, ID: "j-1", Key: "k1"},
+		{Op: OpDone, ID: "j-1", Hash: "aa"},
+		{Op: OpSubmit, ID: "j-2", Key: "k2"},
+	}
+	if err := j.Rewrite(compact); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after a rewrite land in the new file.
+	if err := j.Append(Record{Op: OpStart, ID: "j-2"}, true); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(compact, Record{Op: OpStart, ID: "j-2"})
+	if len(recs) != len(want) {
+		t.Fatalf("rewritten journal replayed %d records %+v, want %d", len(recs), recs, len(want))
+	}
+	for i, r := range recs {
+		if r.Op != want[i].Op || r.ID != want[i].ID || r.Key != want[i].Key || r.Hash != want[i].Hash {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
 	}
 }
 

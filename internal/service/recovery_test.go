@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"minnow"
+	"minnow/internal/service/journal"
 )
 
 // cancelJob issues DELETE /jobs/{id} and returns the status code and
@@ -374,6 +376,75 @@ func TestCrashRecovery(t *testing.T) {
 	}
 	if sims := metric(t, s3.MetricsText(), "minnowd_sims_total"); sims != 0 {
 		t.Fatalf("double restart simulated %v times, want 0", sims)
+	}
+}
+
+// TestJournalCompaction pins the bounded-journal contract: startup
+// compacts the journal down to the replayed survivors, replay
+// re-registers at most replayTerminalCap terminal jobs (newest first),
+// and a dropped job's ID still advances the sequence so it is never
+// reused by a new submission.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jl, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 50
+	for i := 1; i <= replayTerminalCap+extra; i++ {
+		id := fmt.Sprintf("j-%d", i)
+		for _, r := range []journal.Record{
+			{Op: journal.OpSubmit, ID: id, Bench: "SSSP", Key: id},
+			{Op: journal.OpStart, ID: id},
+			{Op: journal.OpCanceled, ID: id, Error: "x"},
+		} {
+			if err := jl.Append(r, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Shards: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Jobs()); n != replayTerminalCap {
+		t.Fatalf("replay registered %d jobs, want %d (terminal cap)", n, replayTerminalCap)
+	}
+	if _, ok := s.Job("j-1", false); ok {
+		t.Fatal("oldest terminal job survived past the cap")
+	}
+	newest := fmt.Sprintf("j-%d", replayTerminalCap+extra)
+	if v, ok := s.Job(newest, false); !ok || v.Status != StatusCanceled {
+		t.Fatalf("newest terminal job %s after replay: ok=%v %+v", newest, ok, v)
+	}
+	// Dropped IDs still advance the sequence: a fresh submission must
+	// not reuse j-1..j-50.
+	v, err := s.Submit(smallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("j-%d", replayTerminalCap+extra+1); v.ID != want {
+		t.Fatalf("post-replay submission got ID %s, want %s", v.ID, want)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-disk journal was rewritten down to two records per
+	// surviving job (submit + canceled) plus the new job's lifecycle
+	// (submit + start + done).
+	_, recs, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*replayTerminalCap + 3; len(recs) != want {
+		t.Fatalf("compacted journal holds %d records, want %d", len(recs), want)
 	}
 }
 

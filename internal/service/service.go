@@ -25,6 +25,16 @@ import (
 // keeps the journal small on long chatty runs.
 const checkpointEverySamples = 8
 
+// replayTerminalCap bounds how many terminal (done/failed/canceled)
+// jobs a journal replay re-registers: only the newest survive a
+// restart, older ones are forgotten — their results still live in the
+// cache, so an identical resubmission remains a hit; only GET
+// /jobs/{id} for the ancient ID turns 404. Together with the startup
+// compaction (journal.Rewrite of the replayed survivors) this keeps
+// the journal size, replay time, and resident job map bounded by
+// retained state instead of growing with lifetime job count.
+const replayTerminalCap = 4096
+
 // Config parameterizes a Server. The zero value is a working
 // memory-cached server sized by minnow.SplitBudget.
 type Config struct {
@@ -54,7 +64,10 @@ type Config struct {
 	// without durability (a restart forgets in-flight jobs, as before).
 	JournalPath string
 	// QueueLimit bounds the number of queued-but-not-running jobs;
-	// submissions beyond it are refused with 429. 0 selects 65536.
+	// submissions beyond it are refused with 429. The bound is checked
+	// at acceptance, before the (unlocked) journal fsync, so concurrent
+	// submitters can briefly overshoot it by their own count. 0 selects
+	// 65536.
 	QueueLimit int
 	// MaxCycles is applied to submitted configs that leave MaxCycles 0:
 	// the per-job timeout, enforced by the simulator's watchdog (a run
@@ -226,7 +239,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 		s.jl = jl
-		s.replay(recs)
+		// Startup compaction: rewrite the journal down to the replayed
+		// survivors, so it never grows across restarts. A failed rewrite
+		// leaves the old (complete) journal in place — durability
+		// bookkeeping degrades, startup never fails.
+		if err := jl.Rewrite(s.replay(recs)); err != nil {
+			s.m.journalErrs++
+		}
 	}
 	for i := 0; i < shards; i++ {
 		s.wg.Add(1)
@@ -235,14 +254,18 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// replay reconstructs jobs from journal records: terminal jobs are
-// re-registered so GET /jobs/{id} keeps answering, done jobs reattach
-// their cache entry, and never-completed jobs go back on the queue
-// (coalescing duplicates exactly like live submissions). Runs before
-// the worker shards start, so no lock is needed; replay appends nothing
-// to the journal, which makes a double restart a no-op — the
-// idempotency the recovery test pins.
-func (s *Server) replay(recs []journal.Record) {
+// replay reconstructs jobs from journal records: terminal jobs (up to
+// replayTerminalCap, newest first) are re-registered so GET /jobs/{id}
+// keeps answering, done jobs reattach their cache entry, and
+// never-completed jobs go back on the queue (coalescing duplicates
+// exactly like live submissions). It returns the compacted record set
+// — one submit record per surviving job, plus its latest checkpoint or
+// terminal record — which New rewrites the journal with, so journal
+// size and replay cost stay bounded. Replaying the compacted journal
+// reconstructs the identical state, which keeps a double restart a
+// no-op — the idempotency the recovery test pins. Runs before the
+// worker shards start, so no lock is needed.
+func (s *Server) replay(recs []journal.Record) []journal.Record {
 	type state struct {
 		submit  journal.Record
 		last    journal.Op
@@ -273,10 +296,46 @@ func (s *Server) replay(recs []journal.Record) {
 			st.errMsg = r.Error
 		}
 	}
+	// Cap terminal re-registration: count the terminal jobs, then skip
+	// the oldest beyond the cap. Even a dropped job's ID still advances
+	// s.seq, so new submissions never reuse it.
+	dropTerminal := -replayTerminalCap
+	for _, id := range order {
+		if states[id].last.Terminal() {
+			dropTerminal++
+		}
+	}
+	var compact []journal.Record
 	for _, id := range order {
 		st := states[id]
 		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "j-"), 10, 64); err == nil && n > s.seq {
 			s.seq = n
+		}
+		if st.last.Terminal() && dropTerminal > 0 {
+			dropTerminal--
+			continue
+		}
+		compact = append(compact, st.submit)
+		switch st.last {
+		case journal.OpDone:
+			compact = append(compact, journal.Record{Op: journal.OpDone, ID: id, Hash: st.hash})
+		case journal.OpFailed:
+			compact = append(compact, journal.Record{Op: journal.OpFailed, ID: id, Error: st.errMsg})
+		case journal.OpCanceled:
+			compact = append(compact, journal.Record{Op: journal.OpCanceled, ID: id, Error: st.errMsg})
+		default:
+			// Never finished: keep the latest progress stamp so the
+			// compacted journal still says how far the lost run got.
+			if st.cycles > 0 || st.samples > 0 {
+				compact = append(compact, journal.Record{Op: journal.OpCheckpoint, ID: id, Cycles: st.cycles, Samples: st.samples})
+			}
+		}
+		queuedAt := time.Now()
+		if st.submit.At != 0 {
+			// Restore the original submission time, so latency metrics
+			// for recovered jobs span the crash instead of restarting the
+			// clock at replay.
+			queuedAt = time.Unix(0, st.submit.At)
 		}
 		j := &job{
 			id:               id,
@@ -287,7 +346,7 @@ func (s *Server) replay(recs []journal.Record) {
 			journaled:        true,
 			checkpointCycles: st.cycles,
 			samples:          st.samples,
-			queuedAt:         time.Now(),
+			queuedAt:         queuedAt,
 			done:             make(chan struct{}),
 		}
 		s.jobs[id] = j
@@ -346,6 +405,7 @@ func (s *Server) replay(recs []journal.Record) {
 			s.rec.Requeued++
 		}
 	}
+	return compact
 }
 
 // Recovery returns what the startup journal replay reconstructed
@@ -410,9 +470,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // fast paths — validation failure, cache hit, singleflight coalesce —
 // never touch the queue. Accepted jobs (queued and coalesced) are
 // journaled with an fsync before the call returns, so the submission
-// survives a crash from the moment the API acknowledges it; born-done
-// cache hits are not journaled (the response already carried the
-// result, and replaying one would pointlessly re-register it).
+// survives a crash from the moment the API acknowledges it; the fsync
+// happens outside s.mu (see journalAccepted) so per-submit disk
+// latency never serializes unrelated API handlers. Born-done cache
+// hits are not journaled (the response already carried the result, and
+// replaying one would pointlessly re-register it).
 func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	if !slices.Contains(minnow.Benchmarks(), spec.Bench) {
 		return JobView{}, &RequestError{Code: 400, Msg: fmt.Sprintf("service: Bench: unknown benchmark %q (have %v)", spec.Bench, minnow.Benchmarks())}
@@ -437,8 +499,8 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	key, keyJSON := CacheKey(spec.Bench, cfg)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return JobView{}, &RequestError{Code: 503, Msg: "service: draining, not accepting jobs", RetryAfter: 5}
 	}
 	s.seq++
@@ -461,7 +523,9 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 		s.m.hits++
 		j.cached = true
 		s.finalizeLocked(j, StatusDone, e, "")
-		return s.viewLocked(j, false), nil
+		v := s.viewLocked(j, false)
+		s.mu.Unlock()
+		return v, nil
 	}
 	// Singleflight: an identical submission is already queued or
 	// running; attach to it instead of simulating twice. The primary
@@ -477,22 +541,62 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 		j.primary = p
 		j.status = p.flightStatus
 		p.followers = append(p.followers, j)
-		j.journaled = true
-		s.journalLocked(s.submitRecord(j), true)
-		return s.viewLocked(j, false), nil
+		s.mu.Unlock()
+		return s.journalAccepted(j, false)
 	}
 
 	if s.queue.Len() >= s.cfg.QueueLimit {
 		delete(s.jobs, j.id)
 		s.m.submitted--
-		return JobView{}, &RequestError{Code: 429, Msg: fmt.Sprintf("service: queue full (%d jobs)", s.queue.Len()), RetryAfter: 1}
+		n := s.queue.Len()
+		s.mu.Unlock()
+		return JobView{}, &RequestError{Code: 429, Msg: fmt.Sprintf("service: queue full (%d jobs)", n), RetryAfter: 1}
 	}
 	j.status, j.flightStatus = StatusQueued, StatusQueued
 	s.inflight[key] = j
-	heap.Push(&s.queue, j)
+	s.mu.Unlock()
+	return s.journalAccepted(j, true)
+}
+
+// journalAccepted records an accepted submission in the journal —
+// fsync'd, but outside s.mu, so per-submit fsync latency never
+// serializes unrelated API handlers — then, back under the lock, marks
+// the job journaled and (for the queue path) makes it visible to the
+// worker shards. Between registration and the append the job is
+// cancellable and (as a singleflight target) coalescable but not yet
+// runnable, so a start or done record can never precede its submit
+// record. A job that reached a terminal status while the append was in
+// flight — client cancel, or its coalesced flight resolving — had its
+// terminal record skipped (journaled was still false); it is written
+// here, after the submit record, so replay never resurrects it.
+func (s *Server) journalAccepted(j *job, enqueue bool) (JobView, error) {
+	var appendErr error
+	if s.jl != nil {
+		appendErr = s.jl.Append(s.submitRecord(j), true)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if appendErr != nil {
+		s.m.journalErrs++
+	}
 	j.journaled = true
-	s.journalLocked(s.submitRecord(j), true)
-	s.cond.Signal()
+	switch {
+	case !terminal(j.status):
+		if enqueue {
+			heap.Push(&s.queue, j)
+			s.cond.Signal()
+		}
+	case j.status == StatusDone:
+		hash := ""
+		if j.entry != nil {
+			hash = j.entry.SummaryHash
+		}
+		s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, Hash: hash}, true)
+	case j.status == StatusFailed:
+		s.journalLocked(journal.Record{Op: journal.OpFailed, ID: j.id, Error: j.errMsg}, true)
+	default: // StatusCanceled
+		s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: j.id, Error: j.errMsg}, true)
+	}
 	return s.viewLocked(j, false), nil
 }
 
@@ -509,6 +613,7 @@ func (s *Server) submitRecord(j *job) journal.Record {
 		Bench:    j.bench,
 		Key:      j.key,
 		Priority: j.priority,
+		At:       j.queuedAt.UnixNano(),
 		Spec:     spec,
 	}
 }
