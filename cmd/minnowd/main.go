@@ -46,19 +46,23 @@ func main() {
 		maxCyc   = flag.Int64("job-max-cycles", 0, "watchdog bound applied to jobs that leave MaxCycles 0: halt past this many simulated cycles (0 = simulator default)")
 		progress = flag.Int64("progress-every", 0, "metrics-sampling cadence in simulated cycles for jobs that leave MetricsEvery 0; feeds /jobs/{id}/stream (0 = off)")
 		inspAddr = flag.String("inspect", "", "also serve the live inspector (host pprof + metrics) on this address; minnowd's counters are registered onto its /metrics")
+		traceDir = flag.String("trace-dir", "", "persist each job's merged lifecycle+simulation trace (Chrome-trace JSON) under this directory; also where flight-recorder dumps land on panic, watchdog halt, or SIGTERM (empty = in-memory only)")
+		flightN  = flag.Int("flightrec-events", 0, "flight-recorder ring capacity: recent structured service events retained for /debug/flightrec and crash dumps (0 = 4096)")
 		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "on SIGINT/SIGTERM, cancel still-queued jobs after this long (running jobs ride their watchdog)")
 	)
 	flag.Parse()
 
 	s, err := service.New(service.Config{
-		Shards:        *shards,
-		IntraJobs:     *intra,
-		CacheDir:      *cacheDir,
-		CacheMaxBytes: *cacheMax,
-		JournalPath:   *jpath,
-		QueueLimit:    *queueCap,
-		MaxCycles:     *maxCyc,
-		ProgressEvery: *progress,
+		Shards:          *shards,
+		IntraJobs:       *intra,
+		CacheDir:        *cacheDir,
+		CacheMaxBytes:   *cacheMax,
+		JournalPath:     *jpath,
+		QueueLimit:      *queueCap,
+		MaxCycles:       *maxCyc,
+		ProgressEvery:   *progress,
+		TraceDir:        *traceDir,
+		FlightRecEvents: *flightN,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "minnowd:", err)
@@ -77,6 +81,9 @@ func main() {
 	if rec := s.Recovery(); *jpath != "" && (rec.Requeued > 0 || rec.Completed > 0) {
 		fmt.Printf("minnowd: journal replay: %d jobs re-enqueued, %d served from cache\n", rec.Requeued, rec.Completed)
 	}
+	if *traceDir != "" {
+		fmt.Printf("minnowd: tracing to %s (GET /jobs/{id}/trace; flight-recorder dumps on crash)\n", *traceDir)
+	}
 
 	if *inspAddr != "" {
 		insp, err := inspect.Start(*inspAddr)
@@ -93,6 +100,11 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("minnowd: draining (accepted jobs finish; submissions now refused)")
+	if path, err := s.DumpFlight("sigterm"); err != nil {
+		fmt.Fprintln(os.Stderr, "minnowd: flight-recorder dump failed:", err)
+	} else if path != "" {
+		fmt.Println("minnowd: flight recorder dumped to", path)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()

@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minnow/internal/service"
@@ -71,7 +72,8 @@ func main() {
 	grid := buildGrid(strings.Split(*benches, ","), *seeds, *threads)
 	fmt.Printf("minnowload: %d-point grid against %s for %v\n", len(grid), *addr, *dur)
 
-	l := &loader{addr: strings.TrimRight(*addr, "/"), grid: grid, wait: *wait, cancelFrac: *cancelF, hashes: make(map[string]string)}
+	l := &loader{addr: strings.TrimRight(*addr, "/"), grid: grid, wait: *wait, cancelFrac: *cancelF,
+		hashes: make(map[string]string), statusSojourns: make(map[string][]time.Duration)}
 	deadline := time.Now().Add(*dur)
 	if *rate > 0 {
 		l.openLoop(*rate, deadline)
@@ -116,6 +118,11 @@ type loader struct {
 	wait       time.Duration
 	cancelFrac float64
 
+	// corrSeq numbers the correlation IDs this run threads through its
+	// submissions ("load-<n>", sent as X-Correlation-ID and verified
+	// echoed on every view).
+	corrSeq atomic.Int64
+
 	mu        sync.Mutex
 	submitted int
 	completed int
@@ -124,8 +131,11 @@ type loader struct {
 	retries   int // submissions retried after a 429/503 backpressure response
 	failures  []string
 	sojourns  []time.Duration
-	hashes    map[string]string // key → first summary hash seen
-	mismatch  []string
+	// statusSojourns buckets client-observed sojourns by terminal status
+	// (done and expected-canceled; failures carry no useful latency).
+	statusSojourns map[string][]time.Duration
+	hashes         map[string]string // key → first summary hash seen
+	mismatch       []string
 }
 
 // closedLoop runs n workers, each submit-wait-repeat until the deadline.
@@ -165,16 +175,24 @@ func (l *loader) openLoop(rate float64, deadline time.Time) {
 }
 
 // one submits a single job, waits for its terminal status, and records
-// the sojourn and the key→hash observation.
+// the sojourn and the key→hash observation. Each submission carries an
+// X-Correlation-ID ("load-<n>") and verifies the server echoes it, and
+// every terminal view's lifecycle stamps are validated (positive,
+// ordered) — a zero or backwards stamp is a server tracing bug.
 func (l *loader) one(p point) {
 	start := time.Now()
 	l.mu.Lock()
 	l.submitted++
 	l.mu.Unlock()
 
-	v, err := l.submit(p.body)
+	corr := fmt.Sprintf("load-%d", l.corrSeq.Add(1))
+	v, err := l.submit(p.body, corr)
 	if err != nil {
 		l.fail(err.Error())
+		return
+	}
+	if v.Corr != corr {
+		l.fail(fmt.Sprintf("%s: correlation ID %q not echoed (got %q)", v.ID, corr, v.Corr))
 		return
 	}
 	// Optionally exercise the cancellation path: DELETE a fraction of
@@ -199,11 +217,16 @@ func (l *loader) one(p point) {
 			return
 		}
 	}
+	if err := checkStamps(v); err != nil {
+		l.fail(err.Error())
+		return
+	}
 	if v.Status == service.StatusCanceled && wantCancel {
 		// The expected terminal for a submission we DELETEd; it carries no
 		// result, so it contributes nothing to the hash cross-check.
 		l.mu.Lock()
 		l.canceledN++
+		l.statusSojourns[v.Status] = append(l.statusSojourns[v.Status], time.Since(start))
 		l.mu.Unlock()
 		return
 	}
@@ -216,6 +239,7 @@ func (l *loader) one(p point) {
 	defer l.mu.Unlock()
 	l.completed++
 	l.sojourns = append(l.sojourns, time.Since(start))
+	l.statusSojourns[v.Status] = append(l.statusSojourns[v.Status], time.Since(start))
 	if v.Cached || v.Coalesced {
 		l.cachedN++
 	}
@@ -229,15 +253,22 @@ func (l *loader) one(p point) {
 	}
 }
 
-// submit POSTs one job and decodes the JobView. Backpressure responses
-// (429 queue-full, 503 draining) are retried with exponential backoff
-// and jitter, honoring the server's Retry-After hint when present; the
-// retry budget is the same per-job wait bound used for completion.
-func (l *loader) submit(body []byte) (service.JobView, error) {
+// submit POSTs one job (tagged with the given correlation ID) and
+// decodes the JobView. Backpressure responses (429 queue-full, 503
+// draining) are retried with exponential backoff and jitter, honoring
+// the server's Retry-After hint when present; the retry budget is the
+// same per-job wait bound used for completion.
+func (l *loader) submit(body []byte, corr string) (service.JobView, error) {
 	deadline := time.Now().Add(l.wait)
 	backoff := 100 * time.Millisecond
 	for {
-		resp, err := http.Post(l.addr+"/jobs", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, l.addr+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return service.JobView{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Correlation-ID", corr)
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return service.JobView{}, err
 		}
@@ -288,6 +319,25 @@ func (l *loader) cancel(id string) error {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("DELETE /jobs/%s: %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+// checkStamps validates a terminal view's lifecycle timestamps: the
+// submission and terminal stamps must be positive and ordered, and the
+// dispatch stamp (when the job ran) must sit between them. A zero or
+// negative stamp, or a backwards ordering, means the server's lifecycle
+// tracing is broken.
+func checkStamps(v service.JobView) error {
+	if v.QueuedAtNS <= 0 || v.DoneAtNS <= 0 {
+		return fmt.Errorf("%s: non-positive lifecycle stamps: queued_at_ns=%d done_at_ns=%d", v.ID, v.QueuedAtNS, v.DoneAtNS)
+	}
+	if v.DoneAtNS < v.QueuedAtNS {
+		return fmt.Errorf("%s: terminal stamp precedes submission: queued_at_ns=%d done_at_ns=%d", v.ID, v.QueuedAtNS, v.DoneAtNS)
+	}
+	if v.StartedAtNS != 0 && (v.StartedAtNS < v.QueuedAtNS || v.StartedAtNS > v.DoneAtNS) {
+		return fmt.Errorf("%s: dispatch stamp outside [submit, terminal]: queued_at_ns=%d started_at_ns=%d done_at_ns=%d",
+			v.ID, v.QueuedAtNS, v.StartedAtNS, v.DoneAtNS)
 	}
 	return nil
 }
@@ -346,6 +396,21 @@ func (l *loader) report(requireHits bool) bool {
 		l.submitted, l.completed, l.canceledN, len(l.failures), l.retries)
 	if l.completed > 0 {
 		fmt.Printf("minnowload: sojourn p50 %v  p99 %v  mean %v\n", pct(0.50).Round(time.Millisecond), pct(0.99).Round(time.Millisecond), (total / time.Duration(l.completed)).Round(time.Millisecond))
+	}
+	// Per-terminal-status percentiles: canceled submissions resolve much
+	// faster than completed simulations, so one merged distribution hides
+	// both shapes.
+	statuses := make([]string, 0, len(l.statusSojourns))
+	for st := range l.statusSojourns {
+		statuses = append(statuses, st)
+	}
+	sort.Strings(statuses)
+	for _, st := range statuses {
+		ds := l.statusSojourns[st]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		q := func(p float64) time.Duration { return ds[int(p*float64(len(ds)-1))] }
+		fmt.Printf("minnowload: sojourn[%s] n=%d  p50 %v  p95 %v  p99 %v\n",
+			st, len(ds), q(0.50).Round(time.Millisecond), q(0.95).Round(time.Millisecond), q(0.99).Round(time.Millisecond))
 	}
 	fmt.Printf("minnowload: client-observed cache hit ratio %.3f (%d of %d served without a fresh simulation)\n", ratio, l.cachedN, l.completed)
 	fmt.Printf("minnowload: %d distinct cache keys, %d hash mismatches\n", len(l.hashes), len(l.mismatch))

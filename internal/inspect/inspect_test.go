@@ -1,9 +1,11 @@
 package inspect
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -88,6 +90,66 @@ func TestRegisterAppendsSources(t *testing.T) {
 	}
 	if n != 2 {
 		t.Errorf("source invoked %d times, want once per scrape (2)", n)
+	}
+}
+
+// TestRegisterConcurrentWithScrape races Register and OnSample against
+// live /metrics scrapes — run under -race in CI. The source-slice
+// snapshot in metrics() must copy under the lock; appending to the
+// slice a scraper is iterating would be a data race. Every scrape must
+// also see an internally consistent exposition: any source that was
+// fully registered before the scrape began appears in registration
+// order.
+func TestRegisterConcurrentWithScrape(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const registrars, sourcesEach, scrapes = 4, 8, 32
+	var wg sync.WaitGroup
+	for g := 0; g < registrars; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < sourcesEach; i++ {
+				line := fmt.Sprintf("aux_source{registrar=\"%d\",n=\"%d\"} 1\n", g, i)
+				srv.Register(func() string { return line })
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			srv.OnSample(int64(i), fmt.Sprintf("minnow_wall_cycles %d\n", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			body, resp := get(t, srv.Addr(), "/metrics")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("scrape %d: status %d", i, resp.StatusCode)
+			}
+			// A torn snapshot would surface as a clipped final line.
+			if body != "" && !strings.HasSuffix(body, "\n") {
+				t.Errorf("scrape %d: truncated exposition %q", i, body)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles every source is present exactly once.
+	body, _ := get(t, srv.Addr(), "/metrics")
+	for g := 0; g < registrars; g++ {
+		for i := 0; i < sourcesEach; i++ {
+			line := fmt.Sprintf("aux_source{registrar=\"%d\",n=\"%d\"} 1\n", g, i)
+			if strings.Count(body, line) != 1 {
+				t.Fatalf("source (%d,%d) appears %d times:\n%s", g, i, strings.Count(body, line), body)
+			}
+		}
 	}
 }
 

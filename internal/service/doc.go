@@ -50,4 +50,17 @@
 // Cancellation is per-submission: canceling one of several coalesced
 // duplicates detaches only that submission while the shared simulation
 // keeps running for the survivors.
+//
+// Tracing contract: every submission carries a correlation ID (client-
+// supplied or server-generated) and lifecycle stamps, rendered by the
+// tracing subpackage as a merged Chrome-trace/Perfetto document (the
+// service's queue-wait/dispatch/exec/cache-write spans alongside the
+// simulator's own timeline, GET /jobs/{id}/trace), observed into
+// queue-wait/exec/sojourn/cache-write latency histograms on /metrics,
+// and recorded in a fixed-size flight-recorder ring dumped on
+// panic/watchdog/SIGTERM (GET /debug/flightrec live). Tracing is
+// observe-only: summary hashes, cache keys, and what the journal
+// replays are byte-identical with it on or off — span timestamps
+// piggyback on journal records the replay path already reads, and
+// TestTracingInert pins the contract.
 package service

@@ -17,7 +17,11 @@ import (
 //	DELETE /jobs/{id}        cancel a job (queued: immediate; running:
 //	                         within one cancel-poll interval)
 //	GET    /jobs/{id}/stream SSE progress events (sample*, then done)
-//	GET    /metrics          Prometheus text exposition (service counters)
+//	GET    /jobs/{id}/trace  merged lifecycle + simulation trace
+//	                         (Chrome-trace JSON for ui.perfetto.dev)
+//	GET    /metrics          Prometheus text exposition (service counters
+//	                         and lifecycle latency histograms)
+//	GET    /debug/flightrec  flight-recorder snapshot (JSONL, oldest first)
 //	GET    /healthz          liveness ("ok", or 503 while draining)
 //	GET    /                 human-readable index
 //
@@ -32,7 +36,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flightrec", s.handleFlightRec)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	return mux
@@ -84,6 +90,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		http.Error(w, "service: bad request body: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	if spec.Corr == "" {
+		spec.Corr = r.Header.Get("X-Correlation-ID")
 	}
 	v, err := s.Submit(spec)
 	if err != nil {
@@ -202,6 +211,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace is GET /jobs/{id}/trace: the job's merged lifecycle +
+// simulation trace as Chrome-trace JSON (load at ui.perfetto.dev).
+// Works on live jobs too — open spans close at the request instant.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.Trace(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "service: unknown job "+r.PathValue("id"), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b) //nolint:errcheck // client gone mid-body; nothing to do
+}
+
+// handleFlightRec is GET /debug/flightrec: a snapshot of the crash
+// flight recorder as newline-delimited JSON, oldest event first, led by
+// one header line stating the snapshot time and displaced-event count —
+// the same format the on-disk panic/watchdog/SIGTERM dumps use.
+func (s *Server) handleFlightRec(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.flight.WriteJSONL(w) //nolint:errcheck // client gone mid-body; nothing to do
+}
+
 // handleMetrics is GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -229,7 +260,9 @@ GET    /jobs             list jobs
 GET    /jobs/{id}        job status and result (?full=1 for artifacts)
 DELETE /jobs/{id}        cancel a job
 GET    /jobs/{id}/stream live progress events (SSE)
+GET    /jobs/{id}/trace  merged lifecycle+simulation trace (ui.perfetto.dev)
 GET    /metrics          Prometheus metrics
+GET    /debug/flightrec  flight-recorder snapshot (JSONL)
 GET    /healthz          liveness
 
 shards: %d  cache entries: %d

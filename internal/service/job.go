@@ -153,6 +153,14 @@ type JobSpec struct {
 	// Priority orders the queue: higher runs first; equal priorities run
 	// in submission order. Default 0.
 	Priority int `json:"priority,omitempty"`
+	// Corr is an optional client correlation ID (also settable via the
+	// X-Correlation-ID header; the body wins when both are present). It
+	// threads through the job's lifecycle trace, flight-recorder events,
+	// and journal submit record, and is echoed in every JobView — but it
+	// is excluded from the cache key, so differently-correlated identical
+	// submissions still hit the same entry. Empty picks a server-generated
+	// ID. Control characters are stripped and length is capped at 128.
+	Corr string `json:"corr,omitempty"`
 }
 
 // keyDoc is the canonical cache-key document: the semantically
@@ -318,6 +326,9 @@ func terminal(status string) bool {
 type JobView struct {
 	// ID is the server-assigned job identifier.
 	ID string `json:"id"`
+	// Corr is the job's correlation ID: the client's (JobSpec.Corr or the
+	// X-Correlation-ID header) or a server-generated one.
+	Corr string `json:"corr,omitempty"`
 	// Bench is the benchmark name.
 	Bench string `json:"bench"`
 	// Key is the content-address of the job's canonical configuration.
@@ -341,6 +352,18 @@ type JobView struct {
 	CheckpointCycles int64 `json:"checkpoint_cycles,omitempty"`
 	// Error carries the failure message when Status is "failed".
 	Error string `json:"error,omitempty"`
+	// QueuedAtNS is the submission wall-clock stamp in Unix nanoseconds.
+	// Together with StartedAtNS and DoneAtNS it lets clients derive
+	// queue-wait and sojourn latencies without scraping /metrics;
+	// GET /jobs/{id}/trace renders the same stamps as spans.
+	QueuedAtNS int64 `json:"queued_at_ns,omitempty"`
+	// StartedAtNS is the worker-dispatch stamp in Unix nanoseconds (for
+	// coalesced followers, when the shared flight dispatched); 0 until
+	// the job runs — born-done cache hits never do.
+	StartedAtNS int64 `json:"started_at_ns,omitempty"`
+	// DoneAtNS is the terminal stamp in Unix nanoseconds; 0 until the
+	// job reaches a terminal status.
+	DoneAtNS int64 `json:"done_at_ns,omitempty"`
 	// SummaryHash is the run's deterministic fingerprint (set when done).
 	SummaryHash string `json:"summary_hash,omitempty"`
 	// Summary is the canonical stats.RunSummary JSON (set when done),

@@ -79,11 +79,25 @@ type Record struct {
 	Key string `json:"key,omitempty"`
 	// Priority is the submitted queue priority (submit records).
 	Priority int `json:"priority,omitempty"`
-	// At is the submission wall-clock time in Unix nanoseconds (submit
-	// records), restored on replay so a recovered job's latency metrics
-	// measure the full submit→terminal sojourn, crash included, instead
-	// of restarting the clock at replay.
+	// At is the record's wall-clock time in Unix nanoseconds: the
+	// submission time on submit records, the dispatch time on start
+	// records, the sample time on checkpoint records, and the terminal
+	// time on done/failed/canceled records. Replay restores these stamps
+	// so a recovered job's latency metrics and lifecycle trace span the
+	// crash instead of restarting the clock at replay — the service's
+	// job traces piggyback entirely on these fields, so tracing adds no
+	// journal records of its own.
 	At int64 `json:"at,omitempty"`
+	// Corr is the job's correlation ID (submit records), preserved so a
+	// client can still find its submission by correlation ID after a
+	// restart.
+	Corr string `json:"corr,omitempty"`
+	// StartAt is the wall-clock time (Unix nanoseconds) the job's
+	// simulation was dispatched to a worker shard, carried on terminal
+	// records (0 when the job never ran) so the queue-wait/exec split
+	// survives journal compaction, which keeps only the submit and
+	// terminal records of completed jobs.
+	StartAt int64 `json:"start_at,omitempty"`
 	// Spec is the resolved ConfigSpec JSON (submit records), everything
 	// replay needs to re-run the job without the original request.
 	Spec json.RawMessage `json:"spec,omitempty"`

@@ -105,5 +105,14 @@ func (s *Server) MetricsText() string {
 	fmt.Fprintf(&b, "minnowd_job_seconds_sum %.6f\n", m.latencySum.Seconds())
 	fmt.Fprintf(&b, "minnowd_job_seconds_count %d\n", m.latencyCount)
 	gauge("minnowd_job_seconds_max", "Worst submit-to-terminal sojourn seen.", fmt.Sprintf("%.6f", m.latencyMax.Seconds()))
+
+	// Lifecycle latency histograms (internal/service/tracing), labeled by
+	// terminal status and cache outcome. Each HistVec locks itself —
+	// s.mu is already released.
+	b.WriteString(s.hQueueWait.Text())
+	b.WriteString(s.hExec.Text())
+	b.WriteString(s.hSojourn.Text())
+	b.WriteString(s.hCacheWrite.Text())
+	gauge("minnowd_flightrec_events_seen", "Events ever recorded by the crash flight recorder (ring may have displaced older ones).", s.flight.Seen())
 	return b.String()
 }

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
@@ -16,6 +18,7 @@ import (
 	"minnow"
 	"minnow/internal/service/cache"
 	"minnow/internal/service/journal"
+	"minnow/internal/service/tracing"
 )
 
 // checkpointEverySamples is how many interval samples pass between
@@ -34,6 +37,12 @@ const checkpointEverySamples = 8
 // the journal size, replay time, and resident job map bounded by
 // retained state instead of growing with lifetime job count.
 const replayTerminalCap = 4096
+
+// maxTraceCheckpoints bounds how many checkpoint instants a job's
+// lifecycle trace retains (one per journaled checkpoint, i.e. every
+// checkpointEverySamples-th interval sample); later checkpoints still
+// advance CheckpointCycles, they just stop accumulating trace events.
+const maxTraceCheckpoints = 512
 
 // Config parameterizes a Server. The zero value is a working
 // memory-cached server sized by minnow.SplitBudget.
@@ -82,6 +91,18 @@ type Config struct {
 	// results or cache keys. 0 leaves sampling off for jobs that did not
 	// ask for it.
 	ProgressEvery int64
+	// TraceDir, when set, persists each executed job's merged lifecycle
+	// trace (service spans + sim timeline, Chrome-trace JSON, the same
+	// bytes GET /jobs/{id}/trace serves) under this directory, and is
+	// where flight-recorder dumps land on panic, watchdog halt, or
+	// SIGTERM. Observe-only — never changes results, cache keys, or what
+	// the journal replays (TestTracingInert pins it). "" keeps traces
+	// in-memory-only (the endpoint still works) and disables dumps.
+	TraceDir string
+	// FlightRecEvents sizes the flight recorder: how many recent
+	// structured service events the crash ring buffer retains
+	// (GET /debug/flightrec). 0 selects tracing.DefaultFlightEvents.
+	FlightRecEvents int
 }
 
 // job is the server-side record of one submission.
@@ -93,6 +114,11 @@ type job struct {
 	keyJSON  []byte
 	priority int
 	seq      int64
+	// corr is the job's correlation ID: client-supplied (JobSpec.Corr or
+	// the X-Correlation-ID header) or server-generated, threaded through
+	// every lifecycle span, flight-recorder event, and journal submit
+	// record so one ID follows the job from HTTP accept to terminal.
+	corr string
 
 	status    string
 	cached    bool
@@ -108,8 +134,23 @@ type job struct {
 	// cache entry has since been evicted; viewLocked falls back to it.
 	hash string
 
-	queuedAt time.Time
-	doneAt   time.Time
+	// Lifecycle stamps backing the job's trace spans and latency
+	// histograms: queuedAt→startedAt is queue wait, startedAt→execStartAt
+	// is shard dispatch (config prep and hook wiring), execStartAt→
+	// execEndAt is execution, and cacheWriteDur times the cache Put.
+	// startedAt is stamped on coalesced followers too (the flight's
+	// pickup); the exec stamps live on the primary.
+	queuedAt    time.Time
+	startedAt   time.Time
+	execStartAt time.Time
+	execEndAt   time.Time
+	doneAt      time.Time
+	// cacheWriteDur is how long the flight's cache Put took (primary
+	// only; 0 when nothing was written).
+	cacheWriteDur time.Duration
+	// ckpts are the trace instants of journaled progress checkpoints
+	// (primary only), capped at maxTraceCheckpoints.
+	ckpts []tracing.Instant
 
 	// cancelFlag, when set, is observed by the running simulation's
 	// cancel hook within one poll interval; the run stops with
@@ -168,6 +209,39 @@ func (q *jobQueue) Push(x any) { *q = append(*q, x.(*job)) }
 // interface).
 func (q *jobQueue) Pop() any { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
 
+// histLabels is the label schema shared by every latency histogram:
+// the job's terminal status and its cache outcome.
+var histLabels = []string{"status", "cache"}
+
+// cacheOutcome labels how a submission was satisfied: "hit" (stored
+// cache), "coalesced" (singleflight), or "miss" (fresh simulation —
+// including jobs canceled or failed before producing one).
+func cacheOutcome(j *job) string {
+	switch {
+	case j.coalesced:
+		return "coalesced"
+	case j.cached:
+		return "hit"
+	}
+	return "miss"
+}
+
+// sanitizeCorr normalizes a client-supplied correlation ID: control
+// characters (which could forge flight-recorder JSONL or journal lines
+// in log-viewing tools) are dropped and the length is capped at 128.
+func sanitizeCorr(corr string) string {
+	corr = strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f {
+			return -1
+		}
+		return r
+	}, corr)
+	if len(corr) > 128 {
+		corr = corr[:128]
+	}
+	return corr
+}
+
 // RecoveryStats summarizes what a journal replay reconstructed at
 // startup (Server.Recovery).
 type RecoveryStats struct {
@@ -189,6 +263,17 @@ type Server struct {
 	shards int
 	cache  *cache.Cache
 	jl     *journal.Journal
+
+	// flight is the crash flight recorder; always on (events are a few
+	// dozen bytes), sized by Config.FlightRecEvents, dumped to
+	// Config.TraceDir on panic, watchdog halt, or SIGTERM.
+	flight *tracing.FlightRecorder
+	// Latency histograms served on /metrics, labeled by terminal status
+	// and cache outcome (hit/coalesced/miss).
+	hQueueWait  *tracing.HistVec
+	hExec       *tracing.HistVec
+	hSojourn    *tracing.HistVec
+	hCacheWrite *tracing.HistVec
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -221,6 +306,15 @@ func New(cfg Config) (*Server, error) {
 		cache:    cache.New(),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
+		flight:   tracing.NewFlightRecorder(cfg.FlightRecEvents),
+		hQueueWait: tracing.NewHistVec("minnowd_queue_wait_seconds",
+			"Submit-to-dispatch queue wait (for jobs that never ran, submit-to-terminal).", histLabels, nil),
+		hExec: tracing.NewHistVec("minnowd_exec_seconds",
+			"Dispatch-to-completion simulation time.", histLabels, nil),
+		hSojourn: tracing.NewHistVec("minnowd_sojourn_seconds",
+			"Submit-to-terminal job sojourn time.", histLabels, nil),
+		hCacheWrite: tracing.NewHistVec("minnowd_cache_write_seconds",
+			"Result cache Put latency (disk persistence included).", histLabels, nil),
 	}
 	if cfg.CacheDir != "" {
 		c, err := cache.NewDisk(cfg.CacheDir)
@@ -245,7 +339,10 @@ func New(cfg Config) (*Server, error) {
 		// bookkeeping degrades, startup never fails.
 		if err := jl.Rewrite(s.replay(recs)); err != nil {
 			s.m.journalErrs++
+			s.flight.Record(tracing.Event{Kind: "journal-error", Detail: "startup compaction rewrite failed"})
 		}
+		s.flight.Record(tracing.Event{Kind: "replay", Detail: fmt.Sprintf(
+			"requeued=%d completed=%d terminal=%d", s.rec.Requeued, s.rec.Completed, s.rec.Terminal)})
 	}
 	for i := 0; i < shards; i++ {
 		s.wg.Add(1)
@@ -273,6 +370,11 @@ func (s *Server) replay(recs []journal.Record) []journal.Record {
 		samples int64
 		hash    string
 		errMsg  string
+		// Wall-clock stamps restored into the job's lifecycle trace:
+		// dispatch, latest checkpoint, and terminal time (Unix nanos).
+		startAt int64
+		ckptAt  int64
+		termAt  int64
 	}
 	states := make(map[string]*state)
 	var order []string
@@ -288,12 +390,19 @@ func (s *Server) replay(recs []journal.Record) []journal.Record {
 		}
 		st.last = r.Op
 		switch r.Op {
+		case journal.OpStart:
+			st.startAt = r.At
 		case journal.OpCheckpoint:
-			st.cycles, st.samples = r.Cycles, r.Samples
+			st.cycles, st.samples, st.ckptAt = r.Cycles, r.Samples, r.At
 		case journal.OpDone:
-			st.hash = r.Hash
+			st.hash, st.termAt = r.Hash, r.At
 		case journal.OpFailed, journal.OpCanceled:
-			st.errMsg = r.Error
+			st.errMsg, st.termAt = r.Error, r.At
+		}
+		if r.Op.Terminal() && r.StartAt != 0 {
+			// Compacted terminal records carry the dispatch stamp of the
+			// start record compaction dropped.
+			st.startAt = r.StartAt
 		}
 	}
 	// Cap terminal re-registration: count the terminal jobs, then skip
@@ -318,16 +427,16 @@ func (s *Server) replay(recs []journal.Record) []journal.Record {
 		compact = append(compact, st.submit)
 		switch st.last {
 		case journal.OpDone:
-			compact = append(compact, journal.Record{Op: journal.OpDone, ID: id, Hash: st.hash})
+			compact = append(compact, journal.Record{Op: journal.OpDone, ID: id, Hash: st.hash, At: st.termAt, StartAt: st.startAt})
 		case journal.OpFailed:
-			compact = append(compact, journal.Record{Op: journal.OpFailed, ID: id, Error: st.errMsg})
+			compact = append(compact, journal.Record{Op: journal.OpFailed, ID: id, Error: st.errMsg, At: st.termAt, StartAt: st.startAt})
 		case journal.OpCanceled:
-			compact = append(compact, journal.Record{Op: journal.OpCanceled, ID: id, Error: st.errMsg})
+			compact = append(compact, journal.Record{Op: journal.OpCanceled, ID: id, Error: st.errMsg, At: st.termAt, StartAt: st.startAt})
 		default:
 			// Never finished: keep the latest progress stamp so the
 			// compacted journal still says how far the lost run got.
 			if st.cycles > 0 || st.samples > 0 {
-				compact = append(compact, journal.Record{Op: journal.OpCheckpoint, ID: id, Cycles: st.cycles, Samples: st.samples})
+				compact = append(compact, journal.Record{Op: journal.OpCheckpoint, ID: id, Cycles: st.cycles, Samples: st.samples, At: st.ckptAt})
 			}
 		}
 		queuedAt := time.Now()
@@ -341,6 +450,7 @@ func (s *Server) replay(recs []journal.Record) []journal.Record {
 			id:               id,
 			bench:            st.submit.Bench,
 			key:              st.submit.Key,
+			corr:             st.submit.Corr,
 			priority:         st.submit.Priority,
 			recovered:        true,
 			journaled:        true,
@@ -348,6 +458,18 @@ func (s *Server) replay(recs []journal.Record) []journal.Record {
 			samples:          st.samples,
 			queuedAt:         queuedAt,
 			done:             make(chan struct{}),
+		}
+		// Restore the lifecycle stamps the journal preserved, so the
+		// job's trace and latency metrics span the crash.
+		if st.startAt != 0 && st.last.Terminal() {
+			j.startedAt = time.Unix(0, st.startAt)
+			j.execStartAt = j.startedAt
+		}
+		if st.termAt != 0 {
+			j.doneAt = time.Unix(0, st.termAt)
+		}
+		if st.cycles > 0 && st.ckptAt != 0 {
+			j.ckpts = append(j.ckpts, tracing.Instant{Name: "checkpoint", At: time.Unix(0, st.ckptAt), Arg: st.cycles})
 		}
 		s.jobs[id] = j
 		switch st.last {
@@ -510,18 +632,26 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 		cfg:      cfg,
 		key:      key,
 		keyJSON:  keyJSON,
+		corr:     sanitizeCorr(spec.Corr),
 		priority: spec.Priority,
 		seq:      s.seq,
 		queuedAt: time.Now(),
 		done:     make(chan struct{}),
 	}
+	if j.corr == "" {
+		// Server-generated correlation ID: unique per submission and
+		// greppable across the flight recorder, journal, and trace.
+		j.corr = fmt.Sprintf("c-%d-%x", s.seq, j.queuedAt.UnixNano())
+	}
 	s.jobs[j.id] = j
 	s.m.submitted++
+	s.flight.Record(tracing.Event{Kind: "submit", Job: j.id, Corr: j.corr, Detail: spec.Bench})
 
 	// Cache hit: born done, no simulation.
 	if e, ok := s.cache.Get(key); ok && e.Covers(cfg.Timeline, cfg.Profile) {
 		s.m.hits++
 		j.cached = true
+		s.flight.Record(tracing.Event{Kind: "cache-hit", Job: j.id, Corr: j.corr})
 		s.finalizeLocked(j, StatusDone, e, "")
 		v := s.viewLocked(j, false)
 		s.mu.Unlock()
@@ -540,7 +670,15 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 		j.coalesced, j.cached = true, true
 		j.primary = p
 		j.status = p.flightStatus
+		if p.flightStatus == StatusRunning {
+			// The flight is already dispatched: this follower starts the
+			// moment it attaches, never before it was submitted — the
+			// primary's earlier pickup would read as a negative queue
+			// wait on the follower's stamps and histograms.
+			j.startedAt = j.queuedAt
+		}
 		p.followers = append(p.followers, j)
+		s.flight.Record(tracing.Event{Kind: "coalesce", Job: j.id, Corr: j.corr, Detail: "onto " + p.id})
 		s.mu.Unlock()
 		return s.journalAccepted(j, false)
 	}
@@ -591,11 +729,11 @@ func (s *Server) journalAccepted(j *job, enqueue bool) (JobView, error) {
 		if j.entry != nil {
 			hash = j.entry.SummaryHash
 		}
-		s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, Hash: hash}, true)
+		s.journalLocked(journal.Record{Op: journal.OpDone, ID: j.id, Hash: hash, At: j.doneAt.UnixNano(), StartAt: unixOrZero(j.startedAt)}, true)
 	case j.status == StatusFailed:
-		s.journalLocked(journal.Record{Op: journal.OpFailed, ID: j.id, Error: j.errMsg}, true)
+		s.journalLocked(journal.Record{Op: journal.OpFailed, ID: j.id, Error: j.errMsg, At: j.doneAt.UnixNano(), StartAt: unixOrZero(j.startedAt)}, true)
 	default: // StatusCanceled
-		s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: j.id, Error: j.errMsg}, true)
+		s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: j.id, Error: j.errMsg, At: j.doneAt.UnixNano(), StartAt: unixOrZero(j.startedAt)}, true)
 	}
 	return s.viewLocked(j, false), nil
 }
@@ -612,10 +750,20 @@ func (s *Server) submitRecord(j *job) journal.Record {
 		ID:       j.id,
 		Bench:    j.bench,
 		Key:      j.key,
+		Corr:     j.corr,
 		Priority: j.priority,
 		At:       j.queuedAt.UnixNano(),
 		Spec:     spec,
 	}
+}
+
+// unixOrZero renders a lifecycle stamp for the journal: Unix nanos, or
+// 0 for the zero time (the job never reached that lifecycle point).
+func unixOrZero(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
 }
 
 // Cancel cancels one job. Queued jobs (and coalesced followers) leave
@@ -726,11 +874,40 @@ func (s *Server) cancelJobLocked(j *job, reason string) {
 	j.status = StatusCanceled
 	j.errMsg = reason
 	j.doneAt = time.Now()
-	s.m.observe(StatusCanceled, j.doneAt.Sub(j.queuedAt))
+	s.observeTerminalLocked(j, StatusCanceled)
 	if j.journaled {
-		s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: j.id, Error: reason}, true)
+		s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: j.id, Error: reason, At: j.doneAt.UnixNano(), StartAt: unixOrZero(j.startedAt)}, true)
 	}
 	close(j.done)
+}
+
+// observeTerminalLocked records one submission reaching a terminal
+// status into the counters, the latency histograms (labeled by status
+// and cache outcome), and the flight recorder. Callers hold s.mu and
+// must have stamped j.doneAt.
+func (s *Server) observeTerminalLocked(j *job, status string) {
+	d := j.doneAt.Sub(j.queuedAt)
+	s.m.observe(status, d)
+	outcome := cacheOutcome(j)
+	s.hSojourn.Observe(d.Seconds(), status, outcome)
+	if !j.startedAt.IsZero() {
+		s.hQueueWait.Observe(j.startedAt.Sub(j.queuedAt).Seconds(), status, outcome)
+		end := j.execEndAt
+		if j.primary != nil && !j.primary.execEndAt.IsZero() {
+			end = j.primary.execEndAt
+		}
+		if !end.IsZero() {
+			// A follower can attach in the window between the primary's
+			// exec-end stamp and finalize; it rode none of the flight.
+			s.hExec.Observe(max(end.Sub(j.startedAt), 0).Seconds(), status, outcome)
+		}
+	} else if outcome == "miss" {
+		// Never dispatched (canceled in queue, refused result): the whole
+		// sojourn was queue wait. Born-done cache hits skip this — they
+		// never queued at all.
+		s.hQueueWait.Observe(d.Seconds(), status, outcome)
+	}
+	s.flight.Record(tracing.Event{Kind: status, Job: j.id, Corr: j.corr, Detail: j.errMsg})
 }
 
 // Job returns the API view of one job; full includes the complete
@@ -808,9 +985,18 @@ func (s *Server) Subscribe(id string) (ch <-chan ProgressEvent, done <-chan stru
 }
 
 // worker is one shard: it pulls the highest-priority queued job and
-// simulates it, until shutdown drains the queue.
+// simulates it, until shutdown drains the queue. A panic escaping the
+// service layer itself (simulation panics are already contained by the
+// harness) dumps the flight recorder before taking the process down, so
+// the post-mortem survives.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.DumpFlight("panic") //nolint:errcheck // crashing; the dump is best-effort
+			panic(r)
+		}
+	}()
 	for {
 		s.mu.Lock()
 		for s.queue.Len() == 0 && !s.draining {
@@ -822,17 +1008,20 @@ func (s *Server) worker() {
 		}
 		j := heap.Pop(&s.queue).(*job)
 		j.flightStatus = StatusRunning
+		j.startedAt = time.Now()
 		if !terminal(j.status) {
 			j.status = StatusRunning
 		}
 		for _, f := range j.followers {
 			if !terminal(f.status) {
 				f.status = StatusRunning
+				f.startedAt = j.startedAt
 			}
 		}
 		s.busy++
 		s.m.sims++
-		s.journalLocked(journal.Record{Op: journal.OpStart, ID: j.id}, false)
+		s.journalLocked(journal.Record{Op: journal.OpStart, ID: j.id, At: j.startedAt.UnixNano()}, false)
+		s.flight.Record(tracing.Event{Kind: "start", Job: j.id, Corr: j.corr})
 		s.mu.Unlock()
 
 		s.execute(j)
@@ -857,21 +1046,38 @@ func (s *Server) execute(j *job) {
 			s.publish(j, ProgressEvent{Cycles: cycles, Metrics: metrics})
 		}
 	}
+	s.mu.Lock()
+	j.execStartAt = time.Now()
+	s.mu.Unlock()
 	res := minnow.RunMany([]minnow.RunRequest{{Benchmark: j.bench, Config: cfg}}, 1)[0]
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	j.execEndAt = time.Now()
 	if errors.Is(res.Err, minnow.ErrCanceled) {
 		s.finalizeLocked(j, StatusCanceled, nil, "service: canceled by client")
+		s.mu.Unlock()
+		s.persistTrace(j)
 		return
 	}
 	if res.Err != nil {
 		s.finalizeLocked(j, StatusFailed, nil, res.Err.Error())
+		s.mu.Unlock()
+		// A watchdog halt or a contained simulation panic is exactly the
+		// post-mortem the flight recorder exists for: dump it.
+		msg := res.Err.Error()
+		if strings.Contains(msg, "watchdog") {
+			s.DumpFlight("watchdog") //nolint:errcheck // best-effort post-mortem
+		} else if strings.Contains(msg, "panicked") {
+			s.DumpFlight("panic") //nolint:errcheck // best-effort post-mortem
+		}
+		s.persistTrace(j)
 		return
 	}
 	resultJSON, err := json.Marshal(res.Result)
 	if err != nil {
 		s.finalizeLocked(j, StatusFailed, nil, "service: marshal result: "+err.Error())
+		s.mu.Unlock()
+		s.persistTrace(j)
 		return
 	}
 	if terminal(j.status) && !s.flightLiveLocked(j) {
@@ -879,6 +1085,8 @@ func (s *Server) execute(j *job) {
 		// every attached submission is already canceled: discard the
 		// result without caching — a canceled flight never writes.
 		s.finalizeLocked(j, StatusCanceled, nil, "")
+		s.mu.Unlock()
+		s.persistTrace(j)
 		return
 	}
 	e := &cache.Entry{
@@ -891,15 +1099,152 @@ func (s *Server) execute(j *job) {
 		HasTimeline: len(res.Result.TimelineJSON) > 0,
 		HasProfile:  res.Result.ProfilePprof != nil || res.Result.Folded != "",
 	}
-	if err := s.cache.Put(e); err != nil {
+	putStart := time.Now()
+	putErr := s.cache.Put(e)
+	j.cacheWriteDur = time.Since(putStart)
+	s.flight.Record(tracing.Event{Kind: "cache-write", Job: j.id, Corr: j.corr,
+		Detail: fmt.Sprintf("%v err=%v", j.cacheWriteDur.Round(time.Microsecond), putErr != nil)})
+	if putErr != nil {
 		// A hash conflict is a determinism violation: surface it on the
 		// job rather than serving either result silently.
 		s.m.conflicts++
-		s.finalizeLocked(j, StatusFailed, nil, err.Error())
+		s.hCacheWrite.Observe(j.cacheWriteDur.Seconds(), StatusFailed, cacheOutcome(j))
+		s.finalizeLocked(j, StatusFailed, nil, putErr.Error())
+		s.mu.Unlock()
+		s.persistTrace(j)
 		return
 	}
+	s.hCacheWrite.Observe(j.cacheWriteDur.Seconds(), StatusDone, cacheOutcome(j))
 	s.finalizeLocked(j, StatusDone, e, "")
+	s.mu.Unlock()
+	s.persistTrace(j)
 }
+
+// persistTrace writes an executed job's merged lifecycle trace to
+// Config.TraceDir (no-op when unset). Called after the flight finalizes
+// with no locks held — trace persistence is best-effort and must never
+// stall a worker shard on disk latency while holding s.mu.
+func (s *Server) persistTrace(j *job) {
+	if s.cfg.TraceDir == "" {
+		return
+	}
+	b, ok := s.Trace(j.id)
+	if !ok {
+		return
+	}
+	if err := os.MkdirAll(s.cfg.TraceDir, 0o755); err != nil {
+		s.flight.Record(tracing.Event{Kind: "trace-error", Job: j.id, Corr: j.corr, Detail: err.Error()})
+		return
+	}
+	path := filepath.Join(s.cfg.TraceDir, j.id+".trace.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		s.flight.Record(tracing.Event{Kind: "trace-error", Job: j.id, Corr: j.corr, Detail: err.Error()})
+		return
+	}
+	s.flight.Record(tracing.Event{Kind: "trace-write", Job: j.id, Corr: j.corr, Detail: path})
+}
+
+// Trace renders one job's merged lifecycle trace: the service-level
+// spans (queue wait, dispatch, exec, cache write) and, when the job's
+// cached result carries a simulator timeline (Config.Timeline), the
+// run's own Perfetto events — one Chrome-trace JSON file for
+// ui.perfetto.dev. Works on live jobs too (open spans close at "now").
+// ok is false for unknown IDs.
+func (s *Server) Trace(id string) ([]byte, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	t := s.jobTraceLocked(j, time.Now())
+	entry := j.entry
+	s.mu.Unlock()
+
+	// Extract the sim timeline outside the lock: Result can be large.
+	var sim []byte
+	if entry != nil && entry.HasTimeline {
+		var r struct{ TimelineJSON []byte }
+		if err := json.Unmarshal(entry.Result, &r); err == nil {
+			sim = r.TimelineJSON
+		}
+	}
+	return t.Render(sim), true
+}
+
+// jobTraceLocked assembles one job's lifecycle spans and instants.
+// Followers time their own queue wait but borrow the primary's exec
+// stamps and checkpoints — the simulation they observed ran there.
+// Callers hold s.mu.
+func (s *Server) jobTraceLocked(j *job, now time.Time) *tracing.JobTrace {
+	t := &tracing.JobTrace{
+		ID: j.id, Corr: j.corr, Bench: j.bench, Status: j.status,
+		Base: j.queuedAt,
+	}
+	end := j.doneAt
+	if end.IsZero() {
+		end = now
+	}
+	t.Spans = append(t.Spans, tracing.Span{Name: "job", Start: j.queuedAt, End: end, Detail: cacheOutcome(j)})
+	p := j
+	if j.primary != nil {
+		p = j.primary
+	}
+	if !j.startedAt.IsZero() {
+		t.Spans = append(t.Spans, tracing.Span{Name: "queue-wait", Start: j.queuedAt, End: j.startedAt})
+		execStart, execEnd := p.execStartAt, p.execEndAt
+		if !execStart.IsZero() {
+			// A follower that attached mid-execution has no dispatch of
+			// its own, and its exec span covers only the stretch of the
+			// primary's flight it actually rode.
+			if execStart.Before(j.startedAt) {
+				execStart = j.startedAt
+			} else {
+				t.Spans = append(t.Spans, tracing.Span{Name: "dispatch", Start: j.startedAt, End: execStart})
+			}
+			if execEnd.IsZero() {
+				execEnd = end // still running: open span closes at "now"
+			}
+			t.Spans = append(t.Spans, tracing.Span{Name: "exec", Start: execStart, End: execEnd})
+			if p.cacheWriteDur > 0 {
+				t.Spans = append(t.Spans, tracing.Span{Name: "cache-write", Start: execEnd, End: execEnd.Add(p.cacheWriteDur)})
+			}
+		}
+	} else if terminal(j.status) {
+		// Never dispatched: the whole sojourn was queue wait (or, for a
+		// born-done hit, the cache lookup itself).
+		if !j.cached || j.coalesced {
+			t.Spans = append(t.Spans, tracing.Span{Name: "queue-wait", Start: j.queuedAt, End: end})
+		}
+	}
+	if j.cached && !j.coalesced && j.startedAt.IsZero() {
+		t.Instants = append(t.Instants, tracing.Instant{Name: "cache-hit", At: j.queuedAt})
+	}
+	if j.coalesced {
+		t.Instants = append(t.Instants, tracing.Instant{Name: "coalesced", At: j.queuedAt, Detail: "onto " + p.id})
+	}
+	t.Instants = append(t.Instants, p.ckpts...)
+	if terminal(j.status) && j.status != StatusDone {
+		t.Instants = append(t.Instants, tracing.Instant{Name: j.status, At: end, Detail: j.errMsg})
+	}
+	return t
+}
+
+// DumpFlight writes the flight recorder to Config.TraceDir as a
+// flightrec-<reason>-*.jsonl post-mortem file, returning its path. A
+// no-op (empty path, nil error) when TraceDir is unset — the in-memory
+// ring and GET /debug/flightrec still work, there is just nowhere to
+// dump.
+func (s *Server) DumpFlight(reason string) (string, error) {
+	if s.cfg.TraceDir == "" {
+		return "", nil
+	}
+	return s.flight.DumpFile(s.cfg.TraceDir, reason)
+}
+
+// FlightRecorder exposes the crash ring buffer (the /debug/flightrec
+// endpoint and tests read it).
+func (s *Server) FlightRecorder() *tracing.FlightRecorder { return s.flight }
 
 // publish fans one progress sample out to a job's stream subscribers
 // and advances the journal's progress checkpoint. Runs on the
@@ -912,12 +1257,17 @@ func (s *Server) publish(j *job, ev ProgressEvent) {
 	j.checkpointCycles = ev.Cycles
 	j.samples++
 	if j.samples%checkpointEverySamples == 0 {
+		now := time.Now()
 		// Unsynced: a lost checkpoint only loses a progress report — the
 		// job re-runs after a crash either way.
 		s.journalLocked(journal.Record{
 			Op: journal.OpCheckpoint, ID: j.id,
-			Cycles: ev.Cycles, Samples: j.samples,
+			Cycles: ev.Cycles, Samples: j.samples, At: now.UnixNano(),
 		}, false)
+		if len(j.ckpts) < maxTraceCheckpoints {
+			j.ckpts = append(j.ckpts, tracing.Instant{Name: "checkpoint", At: now, Arg: ev.Cycles})
+		}
+		s.flight.Record(tracing.Event{Kind: "checkpoint", Job: j.id, Corr: j.corr, Cycles: ev.Cycles, At: now.UnixNano()})
 	}
 	for _, c := range j.subs {
 		select {
@@ -947,15 +1297,15 @@ func (s *Server) finalizeLocked(j *job, status string, e *cache.Entry, errMsg st
 		x.entry = e
 		x.errMsg = errMsg
 		x.doneAt = now
-		s.m.observe(status, now.Sub(x.queuedAt))
+		s.observeTerminalLocked(x, status)
 		if x.journaled {
 			switch status {
 			case StatusDone:
-				s.journalLocked(journal.Record{Op: journal.OpDone, ID: x.id, Hash: e.SummaryHash}, true)
+				s.journalLocked(journal.Record{Op: journal.OpDone, ID: x.id, Hash: e.SummaryHash, At: now.UnixNano(), StartAt: unixOrZero(x.startedAt)}, true)
 			case StatusFailed:
-				s.journalLocked(journal.Record{Op: journal.OpFailed, ID: x.id, Error: errMsg}, true)
+				s.journalLocked(journal.Record{Op: journal.OpFailed, ID: x.id, Error: errMsg, At: now.UnixNano(), StartAt: unixOrZero(x.startedAt)}, true)
 			case StatusCanceled:
-				s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: x.id, Error: errMsg}, true)
+				s.journalLocked(journal.Record{Op: journal.OpCanceled, ID: x.id, Error: errMsg, At: now.UnixNano(), StartAt: unixOrZero(x.startedAt)}, true)
 			}
 		}
 		close(x.done)
@@ -970,6 +1320,7 @@ func (s *Server) finalizeLocked(j *job, status string, e *cache.Entry, errMsg st
 func (s *Server) viewLocked(j *job, full bool) JobView {
 	v := JobView{
 		ID:               j.id,
+		Corr:             j.corr,
 		Bench:            j.bench,
 		Key:              j.key,
 		Status:           j.status,
@@ -979,6 +1330,9 @@ func (s *Server) viewLocked(j *job, full bool) JobView {
 		CheckpointCycles: j.checkpointCycles,
 		Priority:         j.priority,
 		Error:            j.errMsg,
+		QueuedAtNS:       unixOrZero(j.queuedAt),
+		StartedAtNS:      unixOrZero(j.startedAt),
+		DoneAtNS:         unixOrZero(j.doneAt),
 	}
 	if j.primary != nil {
 		v.CheckpointCycles = j.primary.checkpointCycles

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sseResult is one parsed /jobs/{id}/stream session.
+type sseResult struct {
+	cycles []int64 // sample event cycle stamps, arrival order
+	final  JobView // the terminal "done" event payload
+	dones  int
+}
+
+// readStream consumes one SSE session to completion.
+func readStream(t *testing.T, base, id string) sseResult {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		t.Error(err)
+		return sseResult{}
+	}
+	defer resp.Body.Close()
+	var out sseResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "sample":
+				var ev ProgressEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Errorf("sample payload %q: %v", data, err)
+					return out
+				}
+				out.cycles = append(out.cycles, ev.Cycles)
+			case "done":
+				out.dones++
+				if err := json.Unmarshal([]byte(data), &out.final); err != nil {
+					t.Errorf("done payload %q: %v", data, err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// requireMonotone fails unless the cycle stamps are strictly
+// increasing — the stream ordering contract: samples are published in
+// simulation order and a lossy subscriber may skip but never reorder
+// or repeat.
+func requireMonotone(t *testing.T, who string, cycles []int64) {
+	t.Helper()
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] <= cycles[i-1] {
+			t.Fatalf("%s: samples not strictly increasing at %d: %v", who, i, cycles)
+		}
+	}
+	for i, c := range cycles {
+		if c <= 0 {
+			t.Fatalf("%s: non-positive cycle stamp at %d: %v", who, i, cycles)
+		}
+	}
+}
+
+// TestStreamMonotoneAcrossCoalesceAndCancel pins the SSE event-ordering
+// contract under the two hard paths at once: a coalesced follower
+// streams the primary's flight, the primary's own submission is
+// canceled mid-run, and both streams must still deliver strictly
+// increasing checkpoint cycles — the follower's ending in "done" with a
+// result (the flight outlived its carrier), the primary's ending in
+// "canceled".
+func TestStreamMonotoneAcrossCoalesceAndCancel(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, ProgressEvery: 20000})
+	p := submit(t, ts.URL, slowSpec(7))
+
+	// Wait until the shard picks the primary up, so the duplicate below
+	// coalesces onto a running flight.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		cur, ok := s.Job(p.ID, false)
+		if !ok {
+			t.Fatal("primary vanished")
+		}
+		if cur.Status == StatusRunning {
+			break
+		}
+		if terminal(cur.Status) {
+			t.Fatalf("primary finished before the test could attach: %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("primary never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	f := submit(t, ts.URL, slowSpec(7))
+	if !f.Coalesced {
+		t.Fatalf("duplicate did not coalesce: %+v", f)
+	}
+
+	var wg sync.WaitGroup
+	var pr, fr sseResult
+	wg.Add(2)
+	go func() { defer wg.Done(); pr = readStream(t, ts.URL, p.ID) }()
+	go func() { defer wg.Done(); fr = readStream(t, ts.URL, f.ID) }()
+
+	// Give both streams a moment to attach and see at least one sample,
+	// then cancel the primary's submission — the flight keeps running
+	// for the follower.
+	time.Sleep(300 * time.Millisecond)
+	if code, v := cancelJob(t, ts.URL, p.ID); code != http.StatusOK || v.Status != StatusCanceled {
+		t.Fatalf("DELETE primary = %d %+v", code, v)
+	}
+	wg.Wait()
+
+	requireMonotone(t, "primary", pr.cycles)
+	requireMonotone(t, "follower", fr.cycles)
+	if pr.dones != 1 || pr.final.Status != StatusCanceled {
+		t.Fatalf("primary stream terminal: dones=%d final=%+v", pr.dones, pr.final)
+	}
+	if fr.dones != 1 || fr.final.Status != StatusDone || fr.final.SummaryHash == "" {
+		t.Fatalf("follower stream terminal: dones=%d final=%+v", fr.dones, fr.final)
+	}
+	if len(fr.cycles) == 0 {
+		t.Fatal("follower stream saw no samples")
+	}
+	// The follower's checkpoint view advanced with the flight it rode.
+	if fin := await(t, ts.URL, f.ID); fin.CheckpointCycles <= 0 {
+		t.Fatalf("follower checkpoint cycles = %d, want > 0", fin.CheckpointCycles)
+	}
+}
+
+// TestStreamReplayNotAhead pins the late-subscriber contract: a stream
+// opened mid-run starts with the replayed most-recent sample and every
+// subsequent sample is newer — monotonicity holds from the replay
+// onward, not just between live samples.
+func TestStreamReplayNotAhead(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, ProgressEvery: 20000})
+	v := submit(t, ts.URL, slowSpec(8))
+
+	// Wait for the run to produce at least one sample.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		cur, ok := s.Job(v.ID, false)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if cur.CheckpointCycles > 0 {
+			break
+		}
+		if terminal(cur.Status) {
+			t.Fatalf("job finished before a checkpoint: %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	r := readStream(t, ts.URL, v.ID)
+	requireMonotone(t, "late subscriber", r.cycles)
+	if len(r.cycles) == 0 {
+		t.Fatal("late subscriber saw no samples (replay missing)")
+	}
+	if r.dones != 1 || r.final.Status != StatusDone {
+		t.Fatalf("late subscriber terminal: dones=%d final=%+v", r.dones, r.final)
+	}
+}

@@ -1,0 +1,142 @@
+package tracing
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+	"sync"
+)
+
+// DefBuckets are the default histogram bucket upper bounds in seconds:
+// 1 ms to 10 minutes in a roughly-logarithmic ladder sized for job
+// latencies (queue waits of milliseconds, simulations of seconds to
+// minutes). The implicit +Inf bucket is always present.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 60, 150, 600,
+}
+
+// cell is one labeled histogram: cumulative bucket counts plus the
+// Prometheus summary pair (sum, count).
+type cell struct {
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+// HistVec is a Prometheus-style histogram family with a fixed label
+// schema: every observation carries one value per label name, and each
+// distinct label combination accumulates into its own bucket ladder.
+// All methods are safe for concurrent use; Text renders cells in sorted
+// label order so the exposition is deterministic for a given history.
+type HistVec struct {
+	name    string
+	help    string
+	labels  []string
+	buckets []float64
+
+	mu    sync.Mutex
+	cells map[string]*cell
+}
+
+// NewHistVec builds an empty histogram family. Nil buckets selects
+// DefBuckets; labelNames fixes the label schema (every Observe must
+// pass exactly that many values).
+func NewHistVec(name, help string, labelNames []string, buckets []float64) *HistVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistVec{
+		name:    name,
+		help:    help,
+		labels:  labelNames,
+		buckets: buckets,
+		cells:   make(map[string]*cell),
+	}
+}
+
+// Observe records one value (in seconds) against the cell addressed by
+// labelValues. Mismatched label counts are a programming error and
+// panic. NaN observations are dropped (they would poison the sum).
+func (v *HistVec) Observe(seconds float64, labelValues ...string) {
+	if len(labelValues) != len(v.labels) {
+		panic(fmt.Sprintf("tracing: %s: %d label values for %d labels", v.name, len(labelValues), len(v.labels)))
+	}
+	if math.IsNaN(seconds) {
+		return
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.cells[key]
+	if !ok {
+		c = &cell{counts: make([]uint64, len(v.buckets))}
+		v.cells[key] = c
+	}
+	for i, le := range v.buckets {
+		if seconds <= le {
+			c.counts[i]++
+		}
+	}
+	c.sum += seconds
+	c.total++
+}
+
+// Count returns the total number of observations in the cell addressed
+// by labelValues (0 for a never-observed combination) — test hook.
+func (v *HistVec) Count(labelValues ...string) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.cells[strings.Join(labelValues, "\x00")]; ok {
+		return c.total
+	}
+	return 0
+}
+
+// Text renders the family in the Prometheus text exposition format:
+// HELP and TYPE headers, then per-cell cumulative _bucket series (with
+// the implicit le="+Inf"), _sum, and _count. Families with no
+// observations render only the headers, so the metric is always
+// discoverable by scrapers.
+func (v *HistVec) Text() string {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.cells))
+	for k := range v.cells {
+		keys = append(keys, k)
+	}
+	snap := make(map[string]cell, len(v.cells))
+	for k, c := range v.cells {
+		snap[k] = cell{counts: slices.Clone(c.counts), sum: c.sum, total: c.total}
+	}
+	v.mu.Unlock()
+	slices.Sort(keys)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for _, k := range keys {
+		c := snap[k]
+		pairs := v.labelPairs(strings.Split(k, "\x00"))
+		for i, le := range v.buckets {
+			fmt.Fprintf(&b, "%s_bucket{%sle=\"%g\"} %d\n", v.name, pairs, le, c.counts[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", v.name, pairs, c.total)
+		bare := strings.TrimSuffix(pairs, ",")
+		if bare != "" {
+			bare = "{" + bare + "}"
+		}
+		fmt.Fprintf(&b, "%s_sum%s %.6f\n", v.name, bare, c.sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", v.name, bare, c.total)
+	}
+	return b.String()
+}
+
+// labelPairs renders `k1="v1",k2="v2",` — the pair list with a trailing
+// comma, ready for an appended le label (empty for a label-less family).
+func (v *HistVec) labelPairs(values []string) string {
+	var b strings.Builder
+	for i, name := range v.labels {
+		fmt.Fprintf(&b, "%s=%q,", name, values[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+// Package tracing is minnowd's service-level observation plane: per-job
+// lifecycle spans rendered as Chrome-trace/Perfetto JSON (mergeable with
+// the simulator's own timeline so one file shows queue wait, shard
+// dispatch, execution, and cache write next to the run's task spans),
+// Prometheus latency histograms (live p50/p95/p99 over queue wait,
+// execution, sojourn, and cache-write time), and a fixed-size flight
+// recorder of recent structured events that is dumped to disk on panic,
+// watchdog halt, or SIGTERM for post-mortem analysis.
+//
+// Observe-only contract: like every observability layer in this repo,
+// the package only reads wall clocks and appends to private buffers. It
+// never touches a simulation's configuration, so enabling it cannot
+// change a RunSummary hash, a cache key, or what the journal replays —
+// the service test suite pins exactly that (TestTracingInert).
+//
+// Time bases: service spans are wall-clock and rendered in microseconds
+// since the job's submission; the simulator timeline is deterministic
+// and rendered in simulated cycles (1 cycle = 1 µs of trace time). The
+// merge keeps them as two separate Perfetto processes — "minnowd
+// service" (pid 1) and the simulation (pid 0) — so both axes stay
+// honest in one file.
+package tracing
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Span is one closed service-level lifecycle interval of a job
+// (queue-wait, exec, cache-write, or the enclosing job span).
+type Span struct {
+	// Name labels the interval ("job", "queue-wait", "exec", ...).
+	Name string
+	// Start is the interval's wall-clock begin.
+	Start time.Time
+	// End is the interval's wall-clock end; End <= Start renders with a
+	// one-microsecond floor so the span stays visible.
+	End time.Time
+	// Detail is an optional free-form annotation rendered into the
+	// event's args (an error message, a cache outcome).
+	Detail string
+}
+
+// Instant is one service-level point event (a checkpoint, a cancel
+// request, a coalesce).
+type Instant struct {
+	// Name labels the event.
+	Name string
+	// At is the event's wall-clock time.
+	At time.Time
+	// Arg is an optional numeric annotation (checkpoint cycles).
+	Arg int64
+	// Detail is an optional free-form annotation.
+	Detail string
+}
+
+// JobTrace is one job's service-level lifecycle, ready to render: the
+// span tree plus point events, all timed against Base (the submission
+// instant, which becomes trace time zero).
+type JobTrace struct {
+	// ID is the server-assigned job identifier.
+	ID string
+	// Corr is the job's correlation ID.
+	Corr string
+	// Bench is the benchmark name.
+	Bench string
+	// Status is the job's status at render time.
+	Status string
+	// Base is trace time zero: the job's submission instant.
+	Base time.Time
+	// Spans are the closed lifecycle intervals, in emission order.
+	Spans []Span
+	// Instants are the point events, in emission order.
+	Instants []Instant
+}
+
+// simTrace is the subset of the simulator's Perfetto export the merge
+// needs: the raw event list, re-emitted verbatim.
+type simTrace struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// Render produces one Chrome-trace/Perfetto JSON file from the service
+// spans and, when simTimeline is a non-empty simulator Perfetto export
+// (minnow.Result.TimelineJSON), the simulation's own events — merged as
+// two processes so ui.perfetto.dev shows the service lifecycle directly
+// above the run's task timeline. An unparseable simTimeline is skipped,
+// never fatal: the service spans alone are still a valid trace.
+func (t *JobTrace) Render(simTimeline []byte) []byte {
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+
+	emit(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"minnowd service (ts = wall µs since submit)"}}`)
+	emit(`{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":` + strconv.Quote("job "+t.ID) + `}}`)
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		ts := t.us(sp.Start)
+		dur := t.us(sp.End) - ts
+		if dur <= 0 {
+			dur = 1
+		}
+		args := `{"corr":` + strconv.Quote(t.Corr)
+		if sp.Detail != "" {
+			args += `,"detail":` + strconv.Quote(sp.Detail)
+		}
+		args += "}"
+		emit(`{"ph":"X","pid":1,"tid":0,"ts":` + strconv.FormatInt(ts, 10) +
+			`,"dur":` + strconv.FormatInt(dur, 10) +
+			`,"name":` + strconv.Quote(sp.Name) + `,"args":` + args + "}")
+	}
+	for i := range t.Instants {
+		in := &t.Instants[i]
+		args := `{"arg":` + strconv.FormatInt(in.Arg, 10)
+		if in.Detail != "" {
+			args += `,"detail":` + strconv.Quote(in.Detail)
+		}
+		args += "}"
+		emit(`{"ph":"i","pid":1,"tid":0,"ts":` + strconv.FormatInt(t.us(in.At), 10) +
+			`,"s":"t","name":` + strconv.Quote(in.Name) + `,"args":` + args + "}")
+	}
+
+	if len(simTimeline) > 0 {
+		var sim simTrace
+		if err := json.Unmarshal(simTimeline, &sim); err == nil && len(sim.TraceEvents) > 0 {
+			emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"simulation (ts = cycles)"}}`)
+			for _, ev := range sim.TraceEvents {
+				emit(string(ev))
+			}
+		}
+	}
+
+	b.WriteString("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"minnowd\",\"job\":" +
+		strconv.Quote(t.ID) + ",\"corr\":" + strconv.Quote(t.Corr) +
+		",\"bench\":" + strconv.Quote(t.Bench) + ",\"status\":" + strconv.Quote(t.Status) +
+		",\"serviceTimeUnit\":\"wall-us\",\"simTimeUnit\":\"cycles\"}}\n")
+	return []byte(b.String())
+}
+
+// us converts a wall-clock instant to trace microseconds since Base,
+// clamped at zero so a stamp that (clock-skew) precedes the submission
+// still renders inside the trace.
+func (t *JobTrace) us(at time.Time) int64 {
+	if at.Before(t.Base) {
+		return 0
+	}
+	return at.Sub(t.Base).Microseconds()
+}

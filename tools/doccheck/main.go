@@ -1,9 +1,10 @@
 // Command doccheck fails when an exported identifier in the audited
-// packages lacks a doc comment. It guards the observability and
-// statistics surfaces (internal/obs, internal/trace, internal/stats,
-// internal/prof, internal/inspect), whose doc comments carry the
-// determinism contracts the rest of the simulator is written against;
-// the CI docs job runs it on every push.
+// packages lacks a doc comment. It guards the observability, statistics,
+// and service surfaces (internal/obs, internal/trace, internal/stats,
+// internal/prof, internal/inspect, internal/service and its cache,
+// journal, and tracing subpackages), whose doc comments carry the
+// determinism and observe-only contracts the rest of the simulator is
+// written against; the CI docs job runs it on every push.
 //
 // Usage:
 //
@@ -35,6 +36,7 @@ var defaultDirs = []string{
 	"internal/service",
 	"internal/service/cache",
 	"internal/service/journal",
+	"internal/service/tracing",
 }
 
 func main() {
