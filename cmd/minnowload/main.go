@@ -62,6 +62,7 @@ func main() {
 		wait    = flag.Duration("wait", 5*time.Minute, "per-job completion wait before counting it lost")
 		require = flag.Bool("require-hits", false, "exit nonzero unless at least one submission was served by cache hit or coalescing")
 		cancelF = flag.Float64("cancel-frac", 0, "DELETE this fraction of accepted jobs after a short random delay (exercises the cancellation path; canceled terminals count as expected, not failures)")
+		arrival = flag.String("arrivals", "", "server-side open-loop arrival plan on every job: preset (steady, burst, waves, trickle) or clause expression; completions are checked for sane latency percentiles")
 	)
 	flag.Parse()
 	if *cancelF < 0 || *cancelF > 1 {
@@ -69,11 +70,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	grid := buildGrid(strings.Split(*benches, ","), *seeds, *threads)
+	grid := buildGrid(strings.Split(*benches, ","), *seeds, *threads, *arrival)
 	fmt.Printf("minnowload: %d-point grid against %s for %v\n", len(grid), *addr, *dur)
 
 	l := &loader{addr: strings.TrimRight(*addr, "/"), grid: grid, wait: *wait, cancelFrac: *cancelF,
-		hashes: make(map[string]string), statusSojourns: make(map[string][]time.Duration)}
+		checkArrivals: *arrival != "",
+		hashes:        make(map[string]string), statusSojourns: make(map[string][]time.Duration)}
 	deadline := time.Now().Add(*dur)
 	if *rate > 0 {
 		l.openLoop(*rate, deadline)
@@ -87,14 +89,17 @@ func main() {
 }
 
 // buildGrid expands the benchmark × seed sweep into submission bodies
-// with their client-side cache keys.
-func buildGrid(benches []string, seeds, threads int) []point {
+// with their client-side cache keys. A non-empty arrivals plan is
+// threaded onto every spec (and so into every client-side key — the
+// server must agree, or the key cross-check below flags it).
+func buildGrid(benches []string, seeds, threads int, arrivals string) []point {
 	var grid []point
 	for _, b := range benches {
 		b = strings.TrimSpace(b)
 		for s := 0; s < seeds; s++ {
 			spec := service.JobSpec{Bench: b, Config: service.ConfigSpec{
 				Threads: threads, Seed: 42 + uint64(s), Minnow: true, Prefetch: true,
+				Arrivals: arrivals,
 			}}
 			key, _ := service.CacheKey(b, spec.Config.ToConfig())
 			body, _ := json.Marshal(spec)
@@ -117,6 +122,10 @@ type loader struct {
 	grid       []point
 	wait       time.Duration
 	cancelFrac float64
+	// checkArrivals validates every completion's summary against the
+	// open-loop latency contract (-arrivals was set): latency stats
+	// present, injected == retired, and percentiles monotone.
+	checkArrivals bool
 
 	// corrSeq numbers the correlation IDs this run threads through its
 	// submissions ("load-<n>", sent as X-Correlation-ID and verified
@@ -234,6 +243,12 @@ func (l *loader) one(p point) {
 		l.fail(fmt.Sprintf("%s: terminal status %s: %s", v.ID, v.Status, v.Error))
 		return
 	}
+	if l.checkArrivals {
+		if err := checkLatency(v); err != nil {
+			l.fail(err.Error())
+			return
+		}
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -338,6 +353,52 @@ func checkStamps(v service.JobView) error {
 	if v.StartedAtNS != 0 && (v.StartedAtNS < v.QueuedAtNS || v.StartedAtNS > v.DoneAtNS) {
 		return fmt.Errorf("%s: dispatch stamp outside [submit, terminal]: queued_at_ns=%d started_at_ns=%d done_at_ns=%d",
 			v.ID, v.QueuedAtNS, v.StartedAtNS, v.DoneAtNS)
+	}
+	return nil
+}
+
+// checkLatency validates a done view's open-loop latency block: every
+// -arrivals completion must carry latency stats in its summary with
+// conservation (injected == retired — the server ran the job to drain)
+// and monotone percentiles (p50 ≤ p95 ≤ p99 for both queue wait and
+// sojourn, per class). An absent block means the server dropped the
+// arrivals field; non-monotone percentiles mean the percentile math or
+// the recorder is broken.
+func checkLatency(v service.JobView) error {
+	var sum struct {
+		Latency *struct {
+			Injected int64 `json:"injected"`
+			Retired  int64 `json:"retired"`
+			Classes  []struct {
+				Class      string `json:"class"`
+				WaitP50    int64  `json:"wait_p50"`
+				WaitP95    int64  `json:"wait_p95"`
+				WaitP99    int64  `json:"wait_p99"`
+				SojournP50 int64  `json:"sojourn_p50"`
+				SojournP95 int64  `json:"sojourn_p95"`
+				SojournP99 int64  `json:"sojourn_p99"`
+			} `json:"classes"`
+		} `json:"latency"`
+	}
+	if err := json.Unmarshal(v.Summary, &sum); err != nil {
+		return fmt.Errorf("%s: summary JSON: %w", v.ID, err)
+	}
+	l := sum.Latency
+	if l == nil {
+		return fmt.Errorf("%s: -arrivals job completed without latency stats in its summary", v.ID)
+	}
+	if l.Injected != l.Retired {
+		return fmt.Errorf("%s: arrival conservation violated: injected %d != retired %d", v.ID, l.Injected, l.Retired)
+	}
+	for _, c := range l.Classes {
+		if c.WaitP50 > c.WaitP95 || c.WaitP95 > c.WaitP99 {
+			return fmt.Errorf("%s: class %s wait percentiles not monotone: p50 %d, p95 %d, p99 %d",
+				v.ID, c.Class, c.WaitP50, c.WaitP95, c.WaitP99)
+		}
+		if c.SojournP50 > c.SojournP95 || c.SojournP95 > c.SojournP99 {
+			return fmt.Errorf("%s: class %s sojourn percentiles not monotone: p50 %d, p95 %d, p99 %d",
+				v.ID, c.Class, c.SojournP50, c.SojournP95, c.SojournP99)
+		}
 	}
 	return nil
 }

@@ -43,6 +43,7 @@ func main() {
 		every    = flag.Int64("metrics-every", 0, "sample time-series metrics every N simulated cycles")
 		metrics  = flag.String("metrics", "metrics.csv", "interval-metrics CSV path (with -metrics-every)")
 		faults   = flag.String("faults", "", "fault-injection plan: a preset (transient, offline, chaos) or clause expression (see docs/ROBUSTNESS.md)")
+		arrivals = flag.String("arrivals", "", "open-loop arrival plan: a preset (steady, burst, waves, trickle) or clause expression (see EXPERIMENTS.md)")
 		invar    = flag.Bool("invariants", false, "enable runtime invariant checking and the no-progress watchdog")
 		maxCyc   = flag.Int64("max-cycles", 0, "halt with a diagnostic snapshot past this many simulated cycles (0 = large default)")
 		profile  = flag.String("profile", "", "write a pprof profile of simulated cycles to this file (inspect with `go tool pprof`)")
@@ -81,6 +82,7 @@ func main() {
 		Timeline:       *timeline != "",
 		Profile:        *profile != "" || *folded != "",
 		Faults:         *faults,
+		Arrivals:       *arrivals,
 		Invariants:     *invar,
 		MaxCycles:      *maxCyc,
 		IntraJobs:      *intra,
@@ -174,6 +176,13 @@ func main() {
 	}
 	if res.TimedOut {
 		fmt.Println("NOTE: run exceeded its work budget (timed out)")
+	}
+	if l := res.Latency; l != nil {
+		fmt.Printf("arrival latency  %d injected, %d retired\n", l.Injected, l.Retired)
+		for _, c := range l.Classes {
+			fmt.Printf("  class %-12s wait p50/p95/p99 %d/%d/%d  sojourn p50/p95/p99 %d/%d/%d\n",
+				c.Class, c.WaitP50, c.WaitP95, c.WaitP99, c.SojournP50, c.SojournP95, c.SojournP99)
+		}
 	}
 	if *timeline != "" {
 		if werr := os.WriteFile(*timeline, res.TimelineJSON, 0o644); werr != nil {

@@ -61,6 +61,7 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
 		verify   = flag.Bool("verify-determinism", false, "run each configuration twice and compare results instead of emitting CSV")
 		faults   = flag.String("faults", "", "apply a fault-injection plan to every run: preset or clause expression (see docs/ROBUSTNESS.md)")
+		arrivals = flag.String("arrivals", "", "apply an open-loop arrival plan to every run: preset (steady, burst, waves, trickle) or clause expression (see EXPERIMENTS.md)")
 		invar    = flag.Bool("invariants", false, "enable runtime invariant checking on every run")
 		chaos    = flag.Bool("chaos", false, "run the fault-injection sweep instead of the grid (uses the first -threads value)")
 		chaosOut = flag.String("chaos-out", "", "also write the chaos report to this file (written on failure too)")
@@ -125,6 +126,7 @@ func main() {
 						Scheduler:      sched,
 						SplitThreshold: int32(*split),
 						Faults:         *faults,
+						Arrivals:       *arrivals,
 						Invariants:     *invar,
 						Profile:        *profDir != "",
 						IntraJobs:      *intra,

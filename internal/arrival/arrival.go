@@ -1,0 +1,397 @@
+// Package arrival implements deterministic open-loop task arrival
+// processes: parseable arrival plans (Poisson, bursty on/off,
+// multi-period, and replay-from-trace clauses), and the seeded schedule
+// generation that turns a plan into a fixed list of (cycle, node, class)
+// injection events before the simulation starts.
+//
+// The paper's benchmarks are closed-loop — the worklist is seeded once
+// and drained — which only exercises throughput. An arrival plan opens
+// the latency axis: tasks *arrive* mid-run at scheduled cycles, flow
+// through the same worklist backpressure machinery as operator-generated
+// work, and report sojourn and queue-wait percentiles per arrival class.
+//
+// Determinism contract: every arrival decision (inter-arrival gaps and
+// node choices alike) comes from rng streams seeded by the plan alone,
+// and the whole schedule is materialized up front, so the same
+// (configuration, plan) pair always injects the same tasks at the same
+// simulated cycles — runs with arrivals stay bit-reproducible and the
+// determinism self-check, parallel equivalence, and result cache all
+// keep working unchanged.
+package arrival
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind names an arrival class's generating process.
+type Kind uint8
+
+const (
+	// Poisson is a memoryless process: exponential inter-arrival gaps
+	// with a configured mean.
+	Poisson Kind = iota
+	// Burst is an on/off-modulated Poisson process: arrivals are drawn
+	// at the configured mean gap during "on" windows and suppressed
+	// during "off" windows.
+	Burst
+	// Periodic is a deterministic process: arrivals at fixed gaps drawn
+	// cyclically from a period list (a single period gives a strict
+	// clock; several give a repeating multi-period pattern).
+	Periodic
+	// Trace replays an explicit list of arrival cycles (and optionally
+	// pinned nodes) recorded elsewhere.
+	Trace
+)
+
+// String returns the clause name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Burst:
+		return "burst"
+	case Periodic:
+		return "periodic"
+	case Trace:
+		return "trace"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Class is one arrival class: a single clause of the plan. Each class
+// owns a decorrelated rng stream and is reported separately in the
+// latency statistics.
+type Class struct {
+	// Kind selects the generating process.
+	Kind Kind
+	// Gap is the mean inter-arrival gap in cycles (Poisson, Burst).
+	Gap int64
+	// Count bounds the class to this many arrivals (all kinds except
+	// Trace, whose length is its at= list).
+	Count int64
+	// Start delays the first arrival window to this cycle.
+	Start int64
+	// On and Off are the burst window lengths in cycles (Burst only).
+	On, Off int64
+	// Periods is the cyclic gap list (Periodic only).
+	Periods []int64
+	// At is the explicit arrival-cycle list (Trace only), ascending.
+	At []int64
+	// Nodes optionally pins the trace arrivals' nodes, aligned with At
+	// (Trace only; empty means nodes are drawn from the class stream).
+	Nodes []int32
+}
+
+// Plan is one parsed arrival plan. The zero value injects nothing and is
+// rejected by ParsePlan (a plan must carry at least one class).
+type Plan struct {
+	// Seed drives the per-class rng streams (0 is treated as 1).
+	Seed uint64
+	// Classes are the arrival classes in clause order.
+	Classes []Class
+}
+
+// Total returns the number of arrivals the plan will inject.
+func (p *Plan) Total() int64 {
+	var n int64
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		if c.Kind == Trace {
+			n += int64(len(c.At))
+		} else {
+			n += c.Count
+		}
+	}
+	return n
+}
+
+// String renders the plan in canonical clause form;
+// ParsePlan(p.String()) reproduces the plan.
+func (p *Plan) String() string {
+	var cl []string
+	if p.Seed != 0 {
+		cl = append(cl, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		switch c.Kind {
+		case Poisson:
+			s := fmt.Sprintf("poisson:gap=%d,count=%d", c.Gap, c.Count)
+			if c.Start > 0 {
+				s += fmt.Sprintf(",start=%d", c.Start)
+			}
+			cl = append(cl, s)
+		case Burst:
+			s := fmt.Sprintf("burst:gap=%d,count=%d,on=%d,off=%d", c.Gap, c.Count, c.On, c.Off)
+			if c.Start > 0 {
+				s += fmt.Sprintf(",start=%d", c.Start)
+			}
+			cl = append(cl, s)
+		case Periodic:
+			s := fmt.Sprintf("periodic:period=%s,count=%d", joinInts(c.Periods), c.Count)
+			if c.Start > 0 {
+				s += fmt.Sprintf(",start=%d", c.Start)
+			}
+			cl = append(cl, s)
+		case Trace:
+			s := "trace:at=" + joinInts(c.At)
+			if len(c.Nodes) > 0 {
+				strs := make([]string, len(c.Nodes))
+				for i, n := range c.Nodes {
+					strs[i] = strconv.Itoa(int(n))
+				}
+				s += ",nodes=" + strings.Join(strs, "+")
+			}
+			cl = append(cl, s)
+		}
+	}
+	return strings.Join(cl, ";")
+}
+
+func joinInts(vs []int64) string {
+	strs := make([]string, len(vs))
+	for i, v := range vs {
+		strs[i] = strconv.FormatInt(v, 10)
+	}
+	return strings.Join(strs, "+")
+}
+
+// Presets are the named arrival plans accepted wherever a plan string
+// is: "steady" (a single Poisson stream), "burst" (heavy on/off bursts),
+// "waves" (a deterministic multi-period pattern), and "trickle" (sparse
+// arrivals with long quiet gaps — the watchdog's open-loop stress case).
+var presets = map[string]string{
+	"steady":  "seed=1;poisson:gap=600,count=400",
+	"burst":   "seed=1;burst:gap=250,count=400,on=20000,off=60000",
+	"waves":   "seed=1;periodic:period=500+900+1400,count=300",
+	"trickle": "seed=1;poisson:gap=40000,count=32",
+}
+
+// Presets lists the named plans accepted by ParsePlan, sorted.
+func Presets() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePlan parses an arrival-plan string: either a preset name (see
+// Presets) or semicolon-separated clauses of the form
+//
+//	seed=N
+//	poisson:gap=N,count=N[,start=N]
+//	burst:gap=N,count=N,on=N,off=N[,start=N]
+//	periodic:period=N1+N2+...,count=N[,start=N]
+//	trace:at=N1+N2+...[,nodes=N1+N2+...]
+//
+// Gaps, counts, windows, and cycles must be positive; trace at= lists
+// must be ascending; a plan must contain at least one arrival clause.
+func ParsePlan(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("arrival: empty plan")
+	}
+	if preset, ok := presets[s]; ok {
+		s = preset
+	}
+	p := &Plan{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := p.parseClause(clause); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.Classes) == 0 {
+		return nil, fmt.Errorf("arrival: plan has no arrival clauses (want poisson, burst, periodic, or trace)")
+	}
+	return p, nil
+}
+
+// parseClause folds one clause into the plan.
+func (p *Plan) parseClause(clause string) error {
+	name, argstr, _ := strings.Cut(clause, ":")
+	name = strings.TrimSpace(name)
+	if strings.Contains(name, "=") {
+		// Bare key=value clause (only "seed=N").
+		key, val, _ := strings.Cut(name, "=")
+		if key != "seed" {
+			return fmt.Errorf("arrival: unknown clause %q", key)
+		}
+		seed, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return fmt.Errorf("arrival: bad seed %q", val)
+		}
+		p.Seed = seed
+		return nil
+	}
+	args, err := parseArgs(name, argstr)
+	if err != nil {
+		return err
+	}
+	var c Class
+	switch name {
+	case "poisson":
+		c.Kind = Poisson
+		c.Gap = args.pos("gap", 1000)
+		c.Count = args.pos("count", 100)
+		c.Start = args.num("start", 0)
+	case "burst":
+		c.Kind = Burst
+		c.Gap = args.pos("gap", 500)
+		c.Count = args.pos("count", 100)
+		c.On = args.pos("on", 10000)
+		c.Off = args.pos("off", 30000)
+		c.Start = args.num("start", 0)
+	case "periodic":
+		c.Kind = Periodic
+		c.Periods = args.list("period", []int64{1000})
+		c.Count = args.pos("count", 100)
+		c.Start = args.num("start", 0)
+		for _, pd := range c.Periods {
+			if pd <= 0 {
+				return fmt.Errorf("arrival: periodic: period entries must be positive, got %d", pd)
+			}
+		}
+	case "trace":
+		c.Kind = Trace
+		c.At = args.list("at", nil)
+		if len(c.At) == 0 {
+			return fmt.Errorf("arrival: trace: needs a non-empty at= cycle list")
+		}
+		for i, at := range c.At {
+			if at < 0 || (i > 0 && at < c.At[i-1]) {
+				return fmt.Errorf("arrival: trace: at= list must be ascending and non-negative")
+			}
+		}
+		for _, n := range args.list("nodes", nil) {
+			if n < 0 {
+				return fmt.Errorf("arrival: trace: nodes must be non-negative, got %d", n)
+			}
+			c.Nodes = append(c.Nodes, int32(n))
+		}
+		if len(c.Nodes) > 0 && len(c.Nodes) != len(c.At) {
+			return fmt.Errorf("arrival: trace: nodes= list (%d entries) must align with at= (%d entries)",
+				len(c.Nodes), len(c.At))
+		}
+	default:
+		return fmt.Errorf("arrival: unknown clause %q (have poisson, burst, periodic, trace, seed)", name)
+	}
+	if args.err != nil {
+		return args.err
+	}
+	if err := args.unknown(); err != nil {
+		return err
+	}
+	p.Classes = append(p.Classes, c)
+	return nil
+}
+
+// unknown rejects keys the clause never consumed — a silently ignored
+// typo (gaps= for gap=) would make an arrival plan lie about itself.
+func (a *clauseArgs) unknown() error {
+	var extra []string
+	for k := range a.vals {
+		if !a.used[k] {
+			extra = append(extra, k)
+		}
+	}
+	if len(extra) == 0 {
+		return nil
+	}
+	sort.Strings(extra)
+	return fmt.Errorf("arrival: %s: unknown key(s) %s", a.clause, strings.Join(extra, ", "))
+}
+
+// clauseArgs holds one clause's parsed key=value pairs plus the first
+// validation error hit while reading them out.
+type clauseArgs struct {
+	clause string
+	vals   map[string]string
+	used   map[string]bool
+	err    error
+}
+
+func parseArgs(clause, argstr string) (*clauseArgs, error) {
+	a := &clauseArgs{clause: clause, vals: map[string]string{}, used: map[string]bool{}}
+	argstr = strings.TrimSpace(argstr)
+	if argstr == "" {
+		return a, nil
+	}
+	for _, kv := range strings.Split(argstr, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("arrival: %s: malformed argument %q", clause, kv)
+		}
+		if _, dup := a.vals[key]; dup {
+			return nil, fmt.Errorf("arrival: %s: duplicate key %q", clause, key)
+		}
+		a.vals[key] = val
+	}
+	return a, nil
+}
+
+// num reads a non-negative integer key, defaulting when absent.
+func (a *clauseArgs) num(key string, def int64) int64 {
+	a.used[key] = true
+	s, ok := a.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		a.fail("%s: %s=%q is not a non-negative integer", a.clause, key, s)
+		return 0
+	}
+	return v
+}
+
+// pos reads a positive integer key, defaulting when absent.
+func (a *clauseArgs) pos(key string, def int64) int64 {
+	a.used[key] = true
+	s, ok := a.vals[key]
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		a.fail("%s: %s=%q is not a positive integer", a.clause, key, s)
+		return 0
+	}
+	return v
+}
+
+// list reads a +-separated non-negative integer list, defaulting when
+// absent.
+func (a *clauseArgs) list(key string, def []int64) []int64 {
+	a.used[key] = true
+	s, ok := a.vals[key]
+	if !ok {
+		return def
+	}
+	parts := strings.Split(s, "+")
+	out := make([]int64, 0, len(parts))
+	for _, ps := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(ps), 10, 64)
+		if err != nil || v < 0 {
+			a.fail("%s: %s=%q is not a +-separated list of non-negative integers", a.clause, key, s)
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (a *clauseArgs) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("arrival: "+format, args...)
+	}
+}

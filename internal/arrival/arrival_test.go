@@ -1,0 +1,201 @@
+package arrival
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParsePresets checks every named preset expands to a usable plan
+// with at least one class and a pinned seed (presets must be fully
+// deterministic without relying on the zero-seed fallback).
+func TestParsePresets(t *testing.T) {
+	for _, name := range Presets() {
+		p, err := ParsePlan(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if p.Seed == 0 {
+			t.Fatalf("preset %q: zero seed", name)
+		}
+		if len(p.Classes) == 0 {
+			t.Fatalf("preset %q: no classes", name)
+		}
+		if p.Total() <= 0 {
+			t.Fatalf("preset %q: Total()=%d", name, p.Total())
+		}
+	}
+}
+
+// TestPlanStringRoundTrip verifies the canonical rendering re-parses to
+// an identical plan, for presets and hand-written clause expressions
+// covering every kind and optional key.
+func TestPlanStringRoundTrip(t *testing.T) {
+	exprs := append(Presets(),
+		"poisson:gap=100,count=5",
+		"seed=7;poisson:gap=100,count=5,start=250",
+		"burst:gap=50,count=10,on=1000,off=4000",
+		"seed=9;burst:gap=50,count=10,on=1000,off=4000,start=77",
+		"periodic:period=10,count=3",
+		"periodic:period=10+20+30,count=9,start=5",
+		"trace:at=1+5+9",
+		"trace:at=1+5+9,nodes=3+1+4",
+		"seed=2;poisson:gap=10,count=2;trace:at=100+200;periodic:period=7,count=4",
+	)
+	for _, expr := range exprs {
+		p1, err := ParsePlan(expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", expr, err)
+		}
+		s1 := p1.String()
+		p2, err := ParsePlan(s1)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", s1, expr, err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("round trip of %q changed the plan: %+v -> %+v", expr, p1, p2)
+		}
+		if s2 := p2.String(); s1 != s2 {
+			t.Fatalf("round trip of %q unstable: %q -> %q", expr, s1, s2)
+		}
+	}
+}
+
+// TestParsePlanErrors enumerates the rejection paths and pins the error
+// prefix contract: every parse failure is prefixed "arrival:" so callers
+// (minnow.Config.Validate, minnowd's 400 bodies) can attribute it.
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"",                             // empty plan
+		"   ",                          // whitespace-only plan
+		";;",                           // clauses all empty
+		"seed=4",                       // seed alone: no arrival clauses
+		"seed=banana",                  // bad seed
+		"warp:gap=10",                  // unknown clause
+		"poisson:gap",                  // malformed argument
+		"poisson:gap=10,gap=20",        // duplicate key
+		"poisson:gap=0,count=5",        // gap must be positive
+		"poisson:gap=-3,count=5",       // negative gap
+		"poisson:gap=10,count=0",       // count must be positive
+		"poisson:gap=10,start=-1",      // negative start
+		"poisson:gaps=10",              // unknown key (typo)
+		"burst:gap=10,count=5,on=0",    // on window must be positive
+		"burst:gap=10,count=5,off=-1",  // negative off window
+		"periodic:period=0,count=5",    // zero period entry
+		"periodic:period=10+0,count=5", // zero entry in period list
+		"periodic:period=x,count=5",    // non-numeric list entry
+		"trace:nodes=1+2",              // trace without at=
+		"trace:at=5+3",                 // at= not ascending
+		"trace:at=-1+3",                // negative at= entry
+		"trace:at=1+2+3,nodes=4",       // nodes misaligned with at
+		"trace:at=1+2,nodes=-1+0",      // negative node
+		"poisson:gap=10,count=5,zap=1", // unknown key
+	}
+	for _, expr := range bad {
+		p, err := ParsePlan(expr)
+		if err == nil {
+			t.Fatalf("ParsePlan(%q) accepted: %+v", expr, p)
+		}
+		if !strings.HasPrefix(err.Error(), "arrival:") {
+			t.Fatalf("ParsePlan(%q) error %q lacks the arrival: prefix", expr, err)
+		}
+	}
+}
+
+// TestScheduleDeterministic pins the schedule contract: for a fixed
+// (plan, nodes) pair the event list is identical across calls, sorted
+// ascending by cycle, sized by Total(), and every node is in range.
+func TestScheduleDeterministic(t *testing.T) {
+	for _, name := range Presets() {
+		p, err := ParsePlan(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		const nodes = 1024
+		ev1, err := p.Schedule(nodes)
+		if err != nil {
+			t.Fatalf("preset %q: Schedule: %v", name, err)
+		}
+		ev2, err := p.Schedule(nodes)
+		if err != nil {
+			t.Fatalf("preset %q: second Schedule: %v", name, err)
+		}
+		if !reflect.DeepEqual(ev1, ev2) {
+			t.Fatalf("preset %q: schedule not deterministic", name)
+		}
+		if int64(len(ev1)) != p.Total() {
+			t.Fatalf("preset %q: %d events for Total()=%d", name, len(ev1), p.Total())
+		}
+		for i, ev := range ev1 {
+			if i > 0 && ev.At < ev1[i-1].At {
+				t.Fatalf("preset %q: events not sorted at %d: %d after %d", name, i, ev.At, ev1[i-1].At)
+			}
+			if ev.Node < 0 || ev.Node >= nodes {
+				t.Fatalf("preset %q: event %d node %d out of range", name, i, ev.Node)
+			}
+			if int(ev.Class) >= len(p.Classes) {
+				t.Fatalf("preset %q: event %d class %d out of range", name, i, ev.Class)
+			}
+		}
+	}
+}
+
+// TestScheduleTracePinsNodes checks trace clauses replay their pinned
+// nodes verbatim (modulo the graph size) at exactly the listed cycles.
+func TestScheduleTracePinsNodes(t *testing.T) {
+	p, err := ParsePlan("trace:at=3+8+21,nodes=5+0+7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.Schedule(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{{At: 3, Node: 5, Class: 0}, {At: 8, Node: 0, Class: 0}, {At: 21, Node: 1, Class: 0}}
+	if !reflect.DeepEqual(ev, want) {
+		t.Fatalf("trace schedule = %+v, want %+v", ev, want)
+	}
+}
+
+// TestScheduleRejectsBadNodeCount pins the node-count guard.
+func TestScheduleRejectsBadNodeCount(t *testing.T) {
+	p, err := ParsePlan("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int32{0, -4} {
+		if _, err := p.Schedule(n); err == nil {
+			t.Fatalf("Schedule(%d) accepted", n)
+		}
+	}
+}
+
+// TestClassNames pins the latency-report label format.
+func TestClassNames(t *testing.T) {
+	p, err := ParsePlan("poisson:gap=10,count=1;burst:gap=10,count=1;periodic:period=5,count=1;trace:at=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0:poisson", "1:burst", "2:periodic", "3:trace"}
+	if got := p.ClassNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ClassNames() = %v, want %v", got, want)
+	}
+}
+
+// TestSeedChangesSchedule checks the seed actually decorrelates runs:
+// two plans differing only in seed must not produce the same schedule.
+func TestSeedChangesSchedule(t *testing.T) {
+	p1, err := ParsePlan("seed=1;poisson:gap=600,count=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParsePlan("seed=2;poisson:gap=600,count=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1, _ := p1.Schedule(1024)
+	ev2, _ := p2.Schedule(1024)
+	if reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("seeds 1 and 2 produced identical schedules")
+	}
+}

@@ -1,0 +1,52 @@
+package arrival
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseArrival feeds arbitrary strings through the plan parser: it
+// must never panic, every rejection must carry the "arrival:" prefix,
+// and any accepted plan must render canonically — String() re-parses to
+// a plan with the same rendering — and schedule without error.
+func FuzzParseArrival(f *testing.F) {
+	for _, seed := range append(Presets(),
+		"poisson:gap=100,count=5",
+		"seed=7;poisson:gap=100,count=5,start=250",
+		"burst:gap=50,count=10,on=1000,off=4000",
+		"periodic:period=10+20+30,count=9",
+		"trace:at=1+5+9,nodes=3+1+4",
+		"seed=2;poisson:gap=10,count=2;trace:at=100+200",
+		"bogus", "a:b=c", ";;", "seed=", "poisson:gap", "trace:at=5+3",
+		"poisson:gap=10,gap=20", "poisson:gaps=10",
+	) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "arrival:") {
+				t.Fatalf("ParsePlan(%q) error %q lacks the arrival: prefix", s, err)
+			}
+			return
+		}
+		s1 := p.String()
+		p2, err := ParsePlan(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", s1, s, err)
+		}
+		if s2 := p2.String(); s1 != s2 {
+			t.Fatalf("canonical form unstable: %q -> %q (input %q)", s1, s2, s)
+		}
+		if strings.Contains(s1, " ") {
+			t.Fatalf("canonical form contains spaces: %q", s1)
+		}
+		// Accepted plans must also materialize: bound the schedule so a
+		// fuzz-found plan with a huge count cannot stall the fuzzer.
+		if p.Total() <= 1<<16 {
+			if _, err := p.Schedule(64); err != nil {
+				t.Fatalf("accepted plan %q does not schedule: %v", s1, err)
+			}
+		}
+	})
+}

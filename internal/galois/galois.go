@@ -89,6 +89,12 @@ type Runner struct {
 	outstanding int64 // pushed - completed tasks
 	applied     int64
 	timedOut    bool
+
+	// Open-loop arrival state (nil / zero unless the harness arms an
+	// arrival plan; closed-loop runs never touch it).
+	lat      *LatencyRecorder
+	injected int64 // arrival tasks credited at birth (Deposit calls)
+	retired  int64 // arrival tasks whose operator application completed
 }
 
 // Worker is one thread: a core plus worklist context.
@@ -122,6 +128,12 @@ type Worker struct {
 	// EdgeLimit overrides the split subtask size (defaults to
 	// SplitThreshold).
 	pushBuf []worklist.Task
+	// pending holds open-loop arrival tasks deposited by the harness's
+	// injection actor (a weave step) for this worker to enqueue through
+	// the normal scheduler path at the top of its next poll step (also a
+	// weave step) — the deposit/drain split keeps bound-phase steps free
+	// of shared state. Always empty in closed-loop runs.
+	pending []worklist.Task
 }
 
 // NewRunner wires cores, scheduler, and operator together. degrees may be
@@ -153,6 +165,57 @@ func (r *Runner) TimedOut() bool { return r.timedOut }
 // Outstanding returns queued-plus-in-flight task count (termination when
 // zero).
 func (r *Runner) Outstanding() int64 { return r.outstanding }
+
+// SetLatency arms per-task latency recording for open-loop arrival
+// tasks. Must be set before the first actor steps (or never).
+func (r *Runner) SetLatency(l *LatencyRecorder) { r.lat = l }
+
+// Injected returns how many arrival tasks were credited at birth.
+func (r *Runner) Injected() int64 { return r.injected }
+
+// Retired returns how many arrival tasks completed their operator
+// application. A drained, untimed-out run must retire every injected
+// task — the harness conservation check pins it.
+func (r *Runner) Retired() int64 { return r.retired }
+
+// Deposit credits one open-loop arrival task at birth: the task joins
+// the outstanding count immediately (so workers keep polling instead of
+// terminating under it) and lands in worker wi's pending buffer, to be
+// enqueued through the scheduler on that worker's next poll step. Called
+// only from the injection actor's weave step, which the event loop
+// serializes against every worker poll step.
+func (r *Runner) Deposit(wi int, t worklist.Task) {
+	w := r.workers[wi%len(r.workers)]
+	w.pending = append(w.pending, t)
+	r.outstanding++
+	r.injected++
+}
+
+// drainPending enqueues deposited arrival tasks through the normal
+// scheduler path, charging enqueue costs to this worker's core. The
+// core first advances to each task's birth cycle if it lags it — an
+// arrival cannot be enqueued before it occurs — which also anchors the
+// task's queue-wait measurement.
+func (w *Worker) drainPending() {
+	r := w.runner
+	for _, t := range w.pending {
+		if bt := sim.Time(t.Birth); w.Core.Now() < bt {
+			ir, ic := w.Core.ProfRegion(prof.RegionIdle)
+			w.Core.Advance(bt, stats.CatWorklist)
+			w.Core.ProfRestore(ir, ic)
+		}
+		// Deposit already credited the task to r.outstanding; the direct
+		// sched.Push (unlike Worker.Push) leaves the count alone.
+		st := &w.Core.Stat
+		st.EnqOps++
+		start := w.Core.Now()
+		pr, pc := w.Core.ProfRegion(prof.RegionEnq)
+		r.sched.Push(w, t)
+		w.Core.ProfRestore(pr, pc)
+		st.EnqCycles += int64(w.Core.Now() - start)
+	}
+	w.pending = w.pending[:0]
+}
 
 // Seed distributes the initial tasks round-robin over the workers (Galois
 // parallelizes initial worklist population), charging each push to the
@@ -238,6 +301,9 @@ func (w *Worker) Step() (sim.Time, bool) {
 	if r.timedOut {
 		return w.Core.Now(), true
 	}
+	if len(w.pending) > 0 {
+		w.drainPending()
+	}
 	st := &w.Core.Stat
 	start := w.Core.Now()
 	pr, pc := w.Core.ProfRegion(prof.RegionDeq)
@@ -248,6 +314,11 @@ func (w *Worker) Step() (sim.Time, bool) {
 		// idle polling is charged to worklist cycles either way.
 		st.DeqOps++
 		st.DeqCycles += int64(w.Core.Now() - start)
+		if t.Class > 0 && r.lat != nil {
+			// Queue wait: birth to dequeue. Clamped at zero — a core whose
+			// local clock lags the arrival instant can legally pop first.
+			r.lat.Wait(t.Class-1, int64(w.Core.Now())-t.Birth)
+		}
 	}
 	if !ok {
 		if r.outstanding == 0 {
@@ -281,6 +352,14 @@ func (w *Worker) Step() (sim.Time, bool) {
 	r.op.Apply(w, t)
 	w.FlushUseful()
 	w.TL.Span(w.Track, obs.EvTask, taskStart, w.Core.Now(), int64(t.Node))
+	if t.Class > 0 {
+		// Sojourn: birth to operator completion — the arrival task's
+		// end-to-end latency through the scheduling fabric.
+		if r.lat != nil {
+			r.lat.Sojourn(t.Class-1, int64(w.Core.Now())-t.Birth)
+		}
+		r.retired++
+	}
 	r.outstanding--
 	if r.cfg.WorkBudget > 0 && r.applied >= r.cfg.WorkBudget {
 		r.timedOut = true

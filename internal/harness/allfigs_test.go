@@ -1,6 +1,9 @@
 package harness
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestAllFiguresQuick exercises every figure function end-to-end in quick
 // mode at a small thread count — the integration test that guards the
@@ -24,6 +27,20 @@ func TestAllFiguresQuick(t *testing.T) {
 		"fig19":  func(f FigOptions) (interface{ String() string }, error) { return Fig19(f) },
 		"fig20":  func(f FigOptions) (interface{ String() string }, error) { return Fig20(f) },
 		"fig21":  func(f FigOptions) (interface{ String() string }, error) { return Fig21(f) },
+		"sojourn": func(f FigOptions) (interface{ String() string }, error) {
+			tb, err := FigSojourn(f)
+			if err != nil {
+				return nil, err
+			}
+			// The open-loop contract the walkthrough reads off the table:
+			// conservation per row and monotone percentiles.
+			for _, row := range tb.Rows {
+				if row[1] != row[2] {
+					return nil, fmt.Errorf("sojourn row %v: injected != retired", row)
+				}
+			}
+			return tb, err
+		},
 	}
 	for name, fn := range figs {
 		name, fn := name, fn

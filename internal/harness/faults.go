@@ -40,7 +40,14 @@ type watchdog struct {
 // invariant runs, where injected stalls make livelock a real outcome.
 // The poll only reads simulator state, so arming it never perturbs a
 // run.
-func installWatchdog(eng *sim.Engine, o Options, inj *fault.Injector, runner *galois.Runner) *watchdog {
+//
+// Open-loop runs add a wrinkle: a sparse arrival plan ("trickle") can
+// leave the machine legitimately quiet between a drained frontier and
+// the next scheduled injection, which is not livelock — the injection
+// actor still holds queued work. Pending future arrivals therefore
+// reset the no-progress strikes; the MaxCycles arm remains the backstop
+// against a plan whose tail never materializes.
+func installWatchdog(eng *sim.Engine, o Options, inj *fault.Injector, runner *galois.Runner, arr *arrivalActor) *watchdog {
 	wd := &watchdog{lastApplied: -1}
 	if o.Cancel != nil {
 		// The cooperative cancellation hook rides the same read-only
@@ -60,6 +67,12 @@ func installWatchdog(eng *sim.Engine, o Options, inj *fault.Injector, runner *ga
 		a := runner.Applied()
 		if a != wd.lastApplied {
 			wd.lastApplied, wd.strikes = a, 0
+			return false
+		}
+		if arr != nil && arr.Pending() > 0 {
+			// Quiet gap before a scheduled future arrival: the injection
+			// actor's undelivered events are queued work, not livelock.
+			wd.strikes = 0
 			return false
 		}
 		wd.strikes++
@@ -110,13 +123,15 @@ func collectSnapshot(reason string, eng *sim.Engine, runner *galois.Runner,
 }
 
 // checkInvariants audits post-run sanity: task conservation (nothing
-// queued or outstanding after a clean drain, and each Conserved worklist
-// balances its push/pop ledger), per-engine credit-pool accounting
+// queued or outstanding after a clean drain, each Conserved worklist
+// balances its push/pop ledger, and every injected arrival was both
+// delivered and retired), per-engine credit-pool accounting
 // cross-checked against the L2s' actual marked lines, and the memory
 // system's directory/counter invariants. It returns one message per
 // violation, empty when clean.
 func checkInvariants(o Options, drained bool, runner *galois.Runner,
-	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System) []string {
+	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System,
+	arr *arrivalActor) []string {
 
 	var v []string
 	if drained && !runner.TimedOut() {
@@ -130,6 +145,21 @@ func checkInvariants(o Options, drained bool, runner *galois.Runner,
 			if pushed, popped := c.Pushed(), c.Popped(); pushed != popped+int64(swWL.Len()) {
 				v = append(v, fmt.Sprintf("task conservation: %s pushed %d != popped %d + queued %d",
 					swWL.Name(), pushed, popped, swWL.Len()))
+			}
+		}
+		if arr != nil {
+			// Arrival conservation: every scheduled event must have been
+			// delivered (credited at birth) and every credited task must
+			// have completed its operator application — a dropped injected
+			// task fails here deterministically.
+			if d, tot := arr.Delivered(), arr.Total(); d != tot {
+				v = append(v, fmt.Sprintf("arrival conservation: delivered %d of %d scheduled arrivals", d, tot))
+			}
+			if inj, cred := arr.Delivered(), runner.Injected(); inj != cred {
+				v = append(v, fmt.Sprintf("arrival conservation: injector delivered %d but runner credited %d", inj, cred))
+			}
+			if inj, ret := runner.Injected(), runner.Retired(); inj != ret {
+				v = append(v, fmt.Sprintf("arrival conservation: %d tasks injected but only %d retired", inj, ret))
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"minnow/internal/arrival"
 	"minnow/internal/core"
 	"minnow/internal/cpu"
 	"minnow/internal/fault"
@@ -86,6 +87,14 @@ type Options struct {
 	// default) leaves every fault hook uninstalled and the run
 	// byte-identical to a build without the fault layer.
 	Faults *fault.Plan
+	// Arrivals, when non-nil, arms the open-loop arrival plan: tasks are
+	// injected into the live worklists at seeded, pre-scheduled cycles
+	// and their queue-wait and sojourn latencies are reported per arrival
+	// class in Run.Latency. nil (the default) leaves the run closed-loop
+	// and byte-identical to a build without the arrival layer. Only
+	// kernels with re-entrant operators accept arrivals (TC and BC do
+	// not; Run rejects the combination).
+	Arrivals *arrival.Plan
 	// Invariants enables the runtime invariant checker: post-run task
 	// conservation, credit-pool accounting, cache/directory sanity, and
 	// the no-progress watchdog arm of the liveness guard.
@@ -192,6 +201,11 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	kern := spec.Build(o.Scale, o.Seed, as, o.Threads)
 	if !o.LgIntervalSet {
 		o.LgInterval = kern.DefaultLgInterval()
+	}
+
+	arr, err := buildArrivals(spec, kern, o)
+	if err != nil {
+		return nil, err
 	}
 
 	msys := buildMem(o)
@@ -314,24 +328,45 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 		SharedHorizons: o.SharedHorizons,
 	}
 	runner := galois.NewRunner(cfg, cores, sched, kern, kern.Graph().Degree)
+	if arr != nil {
+		arr.runner = runner
+		arr.rec = galois.NewLatencyRecorder(len(o.Arrivals.Classes))
+		runner.SetLatency(arr.rec)
+	}
 
-	ob := buildObserver(o, cores, runner.Workers(), engines, gwl, swWL, msys, inj)
+	ob := buildObserver(o, cores, runner.Workers(), engines, gwl, swWL, msys, inj, arr)
 
 	// Simulation: workers and engines are actors.
 	eng := sim.NewEngine()
-	ob.install(eng, engines, gwl, swWL, msys, inj)
+	ob.install(eng, engines, gwl, swWL, msys, inj, arr)
+	workerIDs := make([]int, 0, len(runner.Workers()))
 	for _, w := range runner.Workers() {
 		id := eng.Register(w)
 		eng.Wake(id, 0)
+		workerIDs = append(workerIDs, id)
 	}
 	for _, e := range engines {
 		id := eng.Register(e)
 		e.SetWake(func(at sim.Time) { eng.Wake(id, at) })
 	}
+	if arr != nil && len(arr.events) > 0 {
+		// Registered after workers and engines so that at a shared
+		// instant the injection step runs last — an arrival never
+		// preempts same-cycle machine work. Wakes from its weave step
+		// re-arm retired workers per the engine's wake-during-step
+		// contract.
+		arr.wakeWorkers = func(at sim.Time) {
+			for _, id := range workerIDs {
+				eng.Wake(id, at)
+			}
+		}
+		aid := eng.Register(arr)
+		eng.Wake(aid, sim.Time(arr.events[0].At))
+	}
 
 	runner.Seed(kern.InitialTasks())
 
-	wd := installWatchdog(eng, o, inj, runner)
+	wd := installWatchdog(eng, o, inj, runner, arr)
 
 	drained := runEngine(eng, o)
 	if eng.Canceled() {
@@ -349,7 +384,7 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	}
 
 	if o.Invariants {
-		if msgs := checkInvariants(o, drained, runner, engines, gwl, swWL, msys); len(msgs) > 0 {
+		if msgs := checkInvariants(o, drained, runner, engines, gwl, swWL, msys, arr); len(msgs) > 0 {
 			return nil, fmt.Errorf("harness: %s/%s invariant violations:\n  %s",
 				spec.Name, o.Scheduler, strings.Join(msgs, "\n  "))
 		}
@@ -359,6 +394,9 @@ func Run(spec kernels.Spec, o Options) (*stats.Run, error) {
 	if inj != nil {
 		fs := inj.Stats
 		run.Faults = &fs
+	}
+	if arr != nil {
+		run.Latency = arr.latencyStats()
 	}
 	run.SimSteps = eng.Steps()
 	run.BoundSteps = eng.BoundSteps()

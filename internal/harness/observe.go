@@ -39,7 +39,7 @@ type observer struct {
 // observability is on or off — the contract the obs harness tests pin.
 func buildObserver(o Options, cores []*cpu.Core, workers []*galois.Worker,
 	engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System,
-	inj *fault.Injector) *observer {
+	inj *fault.Injector, arr *arrivalActor) *observer {
 
 	ob := &observer{}
 	if o.Timeline {
@@ -55,11 +55,18 @@ func buildObserver(o Options, cores []*cpu.Core, workers []*galois.Worker,
 		}
 		msys.TL = tl
 		msys.MemTrack = tl.AddTrack("memory")
+		if arr != nil {
+			// One instant per injection; added only when a plan is armed
+			// so closed-loop timelines are byte-identical to pre-arrival
+			// output.
+			arr.tl = tl
+			arr.track = tl.AddTrack("arrivals")
+		}
 		ob.tl = tl
 	}
 	if o.MetricsEvery > 0 {
 		ob.reg = obs.NewRegistry(sim.Time(o.MetricsEvery))
-		ob.registerColumns(cores, engines, gwl, swWL, msys, inj)
+		ob.registerColumns(cores, engines, gwl, swWL, msys, inj, arr)
 		ob.onSample = o.OnSample
 	}
 	return ob
@@ -100,7 +107,8 @@ func occupancyFn(engines []*core.Engine, gwl *core.GlobalWL, swWL worklist.Workl
 // worklist occupancy, interval L2/L3 MPKI, prefetch accuracy/coverage and
 // lateness, the credit pool level, and NoC/DRAM activity.
 func (ob *observer) registerColumns(cores []*cpu.Core, engines []*core.Engine,
-	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System, inj *fault.Injector) {
+	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System, inj *fault.Injector,
+	arr *arrivalActor) {
 
 	reg := ob.reg
 	sumInstrs := func() int64 {
@@ -155,6 +163,15 @@ func (ob *observer) registerColumns(cores []*cpu.Core, engines []*core.Engine,
 		// are byte-identical to pre-fault-layer output.
 		reg.Counter("faults", func() int64 { return injectedFaults(inj) })
 	}
+	if arr != nil {
+		// Registered only when an arrival plan is armed (same inertness
+		// discipline as the fault column): cumulative injections give the
+		// interval arrival rate, and the injected-minus-retired gauge is
+		// the open-loop backlog.
+		r := arr.runner
+		reg.Counter("arrivals", r.Injected)
+		reg.Gauge("arrival_backlog", func() int64 { return r.Injected() - r.Retired() })
+	}
 	reg.Counter("noc_flits", func() int64 { return msys.Mesh.Flits })
 	reg.Counter("noc_stall", func() int64 { return msys.Mesh.StallCyc })
 	reg.Counter("dram_acc", func() int64 { return msys.DRAM.Accesses })
@@ -172,7 +189,8 @@ func (ob *observer) registerColumns(cores []*cpu.Core, engines []*core.Engine,
 // tracks. With metrics off but the timeline on, counters sample at
 // timelineCounterEvery.
 func (ob *observer) install(eng *sim.Engine, engines []*core.Engine,
-	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System, inj *fault.Injector) {
+	gwl *core.GlobalWL, swWL worklist.Worklist, msys *mem.System, inj *fault.Injector,
+	arr *arrivalActor) {
 
 	every := ob.reg.Every()
 	if every == 0 {
@@ -203,6 +221,9 @@ func (ob *observer) install(eng *sim.Engine, engines []*core.Engine,
 			}
 			if inj != nil {
 				tl.Counter(obs.EvFaults, at, injectedFaults(inj))
+			}
+			if arr != nil {
+				tl.Counter(obs.EvBacklog, at, arr.runner.Injected()-arr.runner.Retired())
 			}
 		}
 	})

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"fmt"
 	"strconv"
 
+	"minnow/internal/arrival"
 	"minnow/internal/obs"
 	"minnow/internal/stats"
 )
@@ -102,4 +104,59 @@ func FigIntervalMPKI(f FigOptions) (*stats.Table, error) {
 	}
 	return tsTable("Fig 13-style: SSSP interval demand L2 MPKI over time",
 		"l2_mpki", base, minnow), nil
+}
+
+// sojournGaps are the FigSojourn offered-load sweep points: mean Poisson
+// inter-arrival gaps in cycles, densest (highest load) last so the
+// latency knee sits at the bottom of the table.
+var sojournGaps = []int64{5000, 2000, 1000, 600, 400}
+var sojournGapsQuick = []int64{2000, 600}
+
+// FigSojourn renders the open-loop latency view the paper's closed-loop
+// evaluation cannot show: sojourn and queue-wait percentiles versus
+// offered load on SSSP under the full Minnow configuration. Sweeping the
+// mean Poisson inter-arrival gap from sparse to dense exposes the
+// latency knee — the load beyond which arrival tasks queue faster than
+// the machine retires them and the percentiles take off.
+func FigSojourn(f FigOptions) (*stats.Table, error) {
+	gaps := sojournGaps
+	count := int64(256)
+	if f.Quick {
+		gaps = sojournGapsQuick
+		count = 96
+	}
+	var jobs []Job
+	for _, gap := range gaps {
+		o := f.base()
+		o.Scheduler = "minnow"
+		o.Prefetch = true
+		plan, err := arrival.ParsePlan(fmt.Sprintf("seed=1;poisson:gap=%d,count=%d", gap, count))
+		if err != nil {
+			return nil, err
+		}
+		o.Arrivals = plan
+		jobs = append(jobs, Job{Bench: "SSSP", Opts: o})
+	}
+	runs, err := f.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: "Open-loop SSSP latency vs offered load (Minnow+pf, Poisson arrivals)",
+		Headers: []string{"mean gap (cyc)", "injected", "retired",
+			"wait p50", "wait p95", "wait p99",
+			"sojourn p50", "sojourn p95", "sojourn p99"},
+	}
+	for i, r := range runs {
+		l := r.Latency
+		if l == nil || len(l.Classes) == 0 {
+			return nil, fmt.Errorf("harness: sojourn figure: run with gap=%d reported no latency stats", gaps[i])
+		}
+		c := l.Classes[0]
+		t.AddRow(strconv.FormatInt(gaps[i], 10),
+			strconv.FormatInt(c.Injected, 10), strconv.FormatInt(c.Retired, 10),
+			strconv.FormatInt(c.WaitP50, 10), strconv.FormatInt(c.WaitP95, 10), strconv.FormatInt(c.WaitP99, 10),
+			strconv.FormatInt(c.SojournP50, 10), strconv.FormatInt(c.SojournP95, 10), strconv.FormatInt(c.SojournP99, 10))
+	}
+	return t, nil
 }

@@ -64,6 +64,13 @@ func (k *BFS) InitialTasks() []worklist.Task {
 // Hops exposes the computed hop distances.
 func (k *BFS) Hops() []int64 { return k.hops }
 
+// ArrivalTask implements Arrivable: re-expand the node from its current
+// hop count. Hop relaxation is monotone, so the extra application never
+// changes the converged answer.
+func (k *BFS) ArrivalTask(node int32) worklist.Task {
+	return worklist.Task{Priority: k.hops[node], Node: node, EdgeHi: -1}
+}
+
 const (
 	bfsPCStale = iota + 1
 	bfsPCVisit

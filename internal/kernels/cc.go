@@ -69,6 +69,14 @@ func (k *CC) InitialTasks() []worklist.Task {
 // Components exposes the computed labels.
 func (k *CC) Components() []int64 { return k.comp }
 
+// ArrivalTask implements Arrivable: re-propagate the node's current
+// label. Min-label propagation is monotone (labels only decrease toward
+// the component minimum), so the extra application never changes the
+// converged answer.
+func (k *CC) ArrivalTask(node int32) worklist.Task {
+	return worklist.Task{Priority: k.comp[node], Node: node, EdgeHi: -1}
+}
+
 const (
 	ccPCStale = iota + 1
 	ccPCProp

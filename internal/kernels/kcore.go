@@ -75,6 +75,14 @@ func (k *KCore) InitialTasks() []worklist.Task {
 // Coreness exposes the converged estimates.
 func (k *KCore) Coreness() []int32 { return k.est }
 
+// ArrivalTask implements Arrivable: recompute the node's h-index over
+// its neighbors' current estimates. The h-operator's chaotic iteration
+// converges to the coreness under any re-evaluation order, so the extra
+// application never changes the converged answer.
+func (k *KCore) ArrivalTask(node int32) worklist.Task {
+	return worklist.Task{Priority: int64(k.est[node]), Node: node, EdgeHi: -1}
+}
+
 const (
 	kcPCImproved = iota + 1
 	kcPCNotify

@@ -80,6 +80,15 @@ func (k *PR) InitialTasks() []worklist.Task {
 // Rank exposes the computed ranks (rank + unconverged residual).
 func (k *PR) Rank(v int32) float64 { return k.rank[v] + k.residual[v] }
 
+// ArrivalTask implements Arrivable: re-drain the node's current
+// residual. The operator's empty-residual guard makes the application a
+// no-op below epsilon, and draining an above-epsilon residual early is
+// work the data-driven schedule already permits, so the converged ranks
+// stay within Verify's tolerance.
+func (k *PR) ArrivalTask(node int32) worklist.Task {
+	return worklist.Task{Priority: residPriority(k.residual[node]), Node: node, EdgeHi: -1}
+}
+
 // residPriority maps a residual to a descending-order integer priority.
 func residPriority(r float64) int64 {
 	return -int64(r * 1e7)

@@ -4,7 +4,22 @@ import (
 	"fmt"
 
 	"minnow/internal/graph"
+	"minnow/internal/worklist"
 )
+
+// Arrivable kernels accept open-loop task arrivals mid-run: ArrivalTask
+// constructs a re-evaluation task for the node at its *current*
+// algorithm state. The task must be idempotent with respect to the
+// final answer — at the fixpoint it is a no-op (SSSP/BFS skip it as
+// stale or find nothing to relax, CC/KCORE propagate nothing new, PR
+// sees an empty residual) and before the fixpoint it only performs work
+// the algorithm's chaotic iteration already permits — so Verify still
+// passes on open-loop runs. Kernels whose operator is not re-entrant
+// (TC and BC count each node exactly once) deliberately do not
+// implement it, and the harness rejects arrival plans for them.
+type Arrivable interface {
+	ArrivalTask(node int32) worklist.Task
+}
 
 // Spec declares one Table-2 benchmark: its kernel, its Table-1 input
 // class, and the paper-equivalent input name.

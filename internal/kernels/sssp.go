@@ -68,6 +68,15 @@ func (k *SSSP) InitialTasks() []worklist.Task {
 // Dist exposes the computed distances (examples use this).
 func (k *SSSP) Dist() []int64 { return k.dist }
 
+// ArrivalTask implements Arrivable: re-relax the node's edges from its
+// current distance. Relaxation is monotone (dist only decreases toward
+// the true shortest path), so the extra application never changes the
+// converged answer; at the fixpoint every edge check fails and the task
+// is pure re-evaluation work.
+func (k *SSSP) ArrivalTask(node int32) worklist.Task {
+	return worklist.Task{Priority: k.dist[node], Node: node, EdgeHi: -1}
+}
+
 const (
 	ssspPCStale = iota + 1
 	ssspPCRelax

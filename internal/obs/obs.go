@@ -99,6 +99,13 @@ const (
 	// EvFaults is the cumulative injected-fault counter track (present
 	// only when a fault plan is armed).
 	EvFaults
+	// EvArrival is one open-loop task injection (instant on the arrivals
+	// track; the argument is the injected node ID).
+	EvArrival
+	// EvBacklog is the open-loop backlog counter track: arrival tasks
+	// injected but not yet retired (present only when an arrival plan is
+	// armed).
+	EvBacklog
 
 	// NumKinds bounds the Kind space (per-kind count arrays).
 	NumKinds
@@ -156,6 +163,10 @@ func (k Kind) String() string {
 		return "noc-flits"
 	case EvFaults:
 		return "faults-injected"
+	case EvArrival:
+		return "arrival"
+	case EvBacklog:
+		return "arrival-backlog"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

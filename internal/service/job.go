@@ -60,6 +60,9 @@ type ConfigSpec struct {
 	Profile bool `json:",omitempty"`
 	// Faults arms the deterministic fault-injection plan.
 	Faults string `json:",omitempty"`
+	// Arrivals arms the deterministic open-loop arrival plan; the run's
+	// per-class latency percentiles land in the result summary.
+	Arrivals string `json:",omitempty"`
 	// Invariants enables runtime invariant checking and the watchdog.
 	Invariants bool `json:",omitempty"`
 	// MaxCycles halts runs past this simulated-cycle bound (the per-job
@@ -104,6 +107,7 @@ func specFromConfig(cfg minnow.Config) ConfigSpec {
 		Timeline:       cfg.Timeline,
 		Profile:        cfg.Profile,
 		Faults:         cfg.Faults,
+		Arrivals:       cfg.Arrivals,
 		Invariants:     cfg.Invariants,
 		MaxCycles:      cfg.MaxCycles,
 		IntraJobs:      cfg.IntraJobs,
@@ -136,6 +140,7 @@ func (c ConfigSpec) ToConfig() minnow.Config {
 		Timeline:       c.Timeline,
 		Profile:        c.Profile,
 		Faults:         c.Faults,
+		Arrivals:       c.Arrivals,
 		Invariants:     c.Invariants,
 		MaxCycles:      c.MaxCycles,
 		IntraJobs:      c.IntraJobs,
@@ -207,6 +212,11 @@ type keyDoc struct {
 	NoFences bool `json:"no_fences"`
 	// Faults is the fault-plan expression (seed included), verbatim.
 	Faults string `json:"faults"`
+	// Arrivals is the arrival-plan expression (seed included), verbatim.
+	// Arrivals change the deterministic outcome (injected tasks and
+	// latency stats), so two jobs differing only here must address
+	// different entries.
+	Arrivals string `json:"arrivals"`
 	// Invariants mirrors Config.Invariants.
 	Invariants bool `json:"invariants"`
 	// MaxCycles is the resolved watchdog cycle bound (after the server's
@@ -239,12 +249,14 @@ type keyDoc struct {
 //     hash-checked.
 //   - SkipVerify is excluded: it only affects whether a failed
 //     verification surfaces as an error, and errors are never cached.
-//   - Everything else — including Faults (its plan seed included),
-//     MaxCycles, and SharedHorizons — participates, because each can
-//     change the deterministic outcome.
+//   - Everything else — including Faults and Arrivals (their plan seeds
+//     included), MaxCycles, and SharedHorizons — participates, because
+//     each can change the deterministic outcome.
 func CacheKey(bench string, cfg minnow.Config) (key string, doc []byte) {
 	d := keyDoc{
-		V:     1,
+		// V bumped 1→2 when the arrivals field joined the document; old
+		// entries re-key rather than colliding with open-loop runs.
+		V:     2,
 		Bench: bench,
 
 		Threads:        resolve(cfg.Threads, 8),
@@ -262,6 +274,7 @@ func CacheKey(bench string, cfg minnow.Config) (key string, doc []byte) {
 		PerfectBP:      cfg.PerfectBP,
 		NoFences:       cfg.NoFences,
 		Faults:         cfg.Faults,
+		Arrivals:       cfg.Arrivals,
 		Invariants:     cfg.Invariants,
 		MaxCycles:      cfg.MaxCycles,
 		SharedHorizons: cfg.SharedHorizons,

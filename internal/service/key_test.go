@@ -48,6 +48,7 @@ func TestCacheKeyExclusions(t *testing.T) {
 		{Minnow: true, Prefetch: true, MaxCycles: 1 << 20},
 		{Minnow: true, Prefetch: true, SharedHorizons: true},
 		{Minnow: true, Prefetch: true, Faults: "transient"},
+		{Minnow: true, Prefetch: true, Arrivals: "steady"},
 		{Minnow: true, Prefetch: true, Invariants: true},
 		{Minnow: true},
 	}
@@ -88,8 +89,34 @@ func TestCacheKeyDocRoundTrips(t *testing.T) {
 	if err := json.Unmarshal(doc, &m); err != nil {
 		t.Fatalf("key doc is not JSON: %v", err)
 	}
-	if m["threads"] != float64(8) || m["lg_interval"] != float64(3) || m["v"] != float64(1) {
+	if m["threads"] != float64(8) || m["lg_interval"] != float64(3) || m["v"] != float64(2) {
 		t.Fatalf("key doc fields not resolved: %v", m)
+	}
+}
+
+// TestCacheKeyArrivals pins the open-loop additions: the arrival plan
+// keys verbatim (two plans differing only in their seed clause are
+// different deterministic outcomes, so they must address different
+// entries), and the document version is 2 — the canonicalization
+// changed when the arrivals field joined, so pre-arrival entries
+// re-key instead of colliding.
+func TestCacheKeyArrivals(t *testing.T) {
+	closed, _ := CacheKey("SSSP", minnow.Config{Minnow: true, Prefetch: true})
+	a, _ := CacheKey("SSSP", minnow.Config{Minnow: true, Prefetch: true, Arrivals: "seed=1;poisson:gap=600,count=400"})
+	b, _ := CacheKey("SSSP", minnow.Config{Minnow: true, Prefetch: true, Arrivals: "seed=2;poisson:gap=600,count=400"})
+	if a == closed {
+		t.Fatal("arrival plan did not change the key")
+	}
+	if a == b {
+		t.Fatal("arrival plans differing only in seed share a key")
+	}
+	_, doc := CacheKey("SSSP", minnow.Config{Minnow: true, Prefetch: true, Arrivals: "steady"})
+	var m map[string]any
+	if err := json.Unmarshal(doc, &m); err != nil {
+		t.Fatalf("key doc is not JSON: %v", err)
+	}
+	if m["arrivals"] != "steady" {
+		t.Fatalf("key doc arrivals = %v, want steady", m["arrivals"])
 	}
 }
 

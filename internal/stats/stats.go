@@ -171,6 +171,65 @@ type FaultStats struct {
 	Rescued int64 `json:"rescued"`
 }
 
+// ClassLatency reports one arrival class's per-task latency percentiles
+// (cycles): queue wait is birth to dequeue, sojourn is birth to operator
+// completion. Percentiles are exact nearest-rank values over the full
+// sample set, not estimates.
+type ClassLatency struct {
+	// Class labels the generating clause ("0:poisson").
+	Class string `json:"class"`
+	// Injected counts this class's scheduled arrivals delivered to the
+	// run.
+	Injected int64 `json:"injected"`
+	// Retired counts this class's arrivals whose operator application
+	// completed.
+	Retired int64 `json:"retired"`
+	// WaitP50 is the median queue wait in cycles.
+	WaitP50 int64 `json:"wait_p50"`
+	// WaitP95 is the 95th-percentile queue wait in cycles.
+	WaitP95 int64 `json:"wait_p95"`
+	// WaitP99 is the 99th-percentile queue wait in cycles.
+	WaitP99 int64 `json:"wait_p99"`
+	// SojournP50 is the median sojourn in cycles.
+	SojournP50 int64 `json:"sojourn_p50"`
+	// SojournP95 is the 95th-percentile sojourn in cycles.
+	SojournP95 int64 `json:"sojourn_p95"`
+	// SojournP99 is the 99th-percentile sojourn in cycles.
+	SojournP99 int64 `json:"sojourn_p99"`
+}
+
+// LatencyStats aggregates open-loop arrival latency across one run. Run
+// and RunSummary carry it as a pointer that stays nil in closed-loop
+// runs, so enabling the arrival layer without a plan leaves the
+// canonical JSON byte-identical to a build that predates it. With a plan
+// armed it is fully deterministic — arrivals are seeded and
+// cycle-scheduled — and therefore part of the summary.
+type LatencyStats struct {
+	// Injected counts arrival tasks credited at birth across classes.
+	Injected int64 `json:"injected"`
+	// Retired counts arrival tasks that completed; a drained run retires
+	// every injected task (the conservation checker pins it).
+	Retired int64 `json:"retired"`
+	// Classes holds per-class percentiles in clause order.
+	Classes []ClassLatency `json:"classes"`
+}
+
+// Percentile returns the exact nearest-rank p-th percentile (p in
+// (0,100]) of an ascending-sorted sample set, 0 when empty.
+func Percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // Run captures everything measured during one simulated benchmark run.
 type Run struct {
 	Name       string // benchmark name
@@ -224,6 +283,11 @@ type Run struct {
 	// was off (part of the summary, since injected faults are fully
 	// deterministic for a given plan).
 	Faults *FaultStats
+
+	// Latency aggregates open-loop arrival latency; nil when no arrival
+	// plan was armed (part of the summary, since arrivals are fully
+	// deterministic for a given plan).
+	Latency *LatencyStats
 }
 
 // SumCores returns the element-wise sum of all core stats.

@@ -48,6 +48,8 @@ type RunSummary struct {
 	L1Shielded       int64 `json:"l1_shielded"`        // L2 prefetch hits behind L1 hits
 
 	Faults *FaultStats `json:"faults,omitempty"` // injected-fault activity (nil when off)
+
+	Latency *LatencyStats `json:"latency,omitempty"` // open-loop arrival latency (nil when off)
 }
 
 // Summary extracts the deterministic portion of the run for cross-run
@@ -82,6 +84,8 @@ func (r *Run) Summary() RunSummary {
 		L1Shielded:       r.L1Shielded,
 
 		Faults: r.Faults,
+
+		Latency: r.Latency,
 	}
 }
 

@@ -100,6 +100,36 @@ func TestConservation(t *testing.T) {
 	}
 }
 
+// TestArrivalTagsConserved checks every Conserved worklist carries the
+// open-loop arrival tags (Birth cycle and Class) through push and pop
+// unchanged — the latency recorder depends on these surviving whatever
+// chunking, rebinding, or heap moves the implementation performs.
+func TestArrivalTagsConserved(t *testing.T) {
+	const threads = 2
+	for name, wl := range conservedLists(threads) {
+		_, _, ctxs := testEnv(threads)
+		want := map[int32]Task{}
+		for i := int32(0); i < 300; i++ {
+			tk := task(int64(i%7), i)
+			tk.Birth = int64(1000 + 3*i)
+			tk.Class = 1 + i%4
+			want[i] = tk
+			wl.Push(ctxs[int(i)%threads], tk)
+		}
+		got := drainAll(wl, ctxs)
+		if len(got) != len(want) {
+			t.Fatalf("%s: drained %d of %d tasks", name, len(got), len(want))
+		}
+		for _, tk := range got {
+			w := want[tk.Node]
+			if tk.Birth != w.Birth || tk.Class != w.Class {
+				t.Fatalf("%s: task %d arrival tags mangled: birth %d/%d class %d/%d",
+					name, tk.Node, tk.Birth, w.Birth, tk.Class, w.Class)
+			}
+		}
+	}
+}
+
 // FuzzWorklist interprets a byte string as a push/pop/thread-switch
 // program against every worklist, checking the conservation ledger and
 // exact multiset recovery at the end of each run.

@@ -44,6 +44,17 @@ type Task struct {
 	EdgeLo, EdgeHi int32
 	// Desc is the simulated address of the task descriptor.
 	Desc uint64
+	// Birth is the simulated cycle an open-loop arrival task was injected
+	// (meaningful only when Class > 0); the retire path threads it into
+	// the per-class sojourn/queue-wait latency statistics. Tasks travel
+	// the whole scheduling fabric — software worklists, engine local and
+	// spill queues, the global worklist — as Go values, so Birth and
+	// Class survive every spill/fill/rescue path unchanged.
+	Birth int64
+	// Class tags an injected arrival task with 1 + its arrival-class
+	// index. The zero value marks ordinary closed-loop work (seeded or
+	// operator-generated), so the arrival layer is invisible when off.
+	Class int32
 }
 
 // WholeNode reports whether the task covers all of its node's edges.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"minnow/internal/arrival"
 	"minnow/internal/core"
 	"minnow/internal/cpu"
 	"minnow/internal/fault"
@@ -121,6 +122,15 @@ type Config struct {
 	// "seed=7;engine-stall:p=0.01,cycles=400;engine-offline:at=50000".
 	// Empty disables injection. See docs/ROBUSTNESS.md for the grammar.
 	Faults string
+	// Arrivals arms the deterministic open-loop arrival plan: a preset
+	// name ("steady", "burst", "waves", "trickle") or a clause expression
+	// such as "seed=1;poisson:gap=600,count=400". Tasks are injected into
+	// the live worklists at seeded, pre-scheduled cycles and their
+	// queue-wait and sojourn percentiles are reported per arrival class
+	// in Result.Latency. Empty keeps the run closed-loop. Only
+	// re-entrant-operator benchmarks accept arrivals (not TC or BC). See
+	// EXPERIMENTS.md's open-loop latency walkthrough for the grammar.
+	Arrivals string
 	// Invariants enables the runtime invariant checker (task
 	// conservation, credit-pool accounting, cache/directory sanity) and
 	// arms the no-progress watchdog.
@@ -217,6 +227,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("minnow: Faults: invalid plan: %w", err)
 		}
 	}
+	if c.Arrivals != "" {
+		if _, err := arrival.ParsePlan(c.Arrivals); err != nil {
+			return fmt.Errorf("minnow: Arrivals: invalid plan: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -279,6 +294,10 @@ type Result struct {
 	// Faults counts the faults actually injected (Config.Faults). Nil
 	// when fault injection was off.
 	Faults *FaultReport
+
+	// Latency reports open-loop arrival latency (Config.Arrivals). Nil
+	// when the run was closed-loop.
+	Latency *LatencyReport
 }
 
 // FaultReport summarizes one run's injected faults. Every counter is
@@ -293,6 +312,36 @@ type FaultReport struct {
 	CreditsRecovered int64 // credits restored by leak recovery
 	EnginesOffline   int64 // engines killed permanently mid-run
 	TasksRescued     int64 // tasks drained from dead engines into software
+}
+
+// LatencyReport summarizes one open-loop run's arrival latency. Like
+// FaultReport it is deterministic: the same Config (arrival plan and
+// seed included) reproduces the same report bit for bit.
+type LatencyReport struct {
+	// Injected counts arrival tasks delivered to the run; Retired counts
+	// those whose operator application completed. A drained run retires
+	// every injected task.
+	Injected, Retired int64
+	// Classes holds per-arrival-class latency percentiles in clause
+	// order.
+	Classes []ClassLatency
+}
+
+// ClassLatency reports one arrival class's latency percentiles in
+// simulated cycles: queue wait is birth to dequeue, sojourn is birth to
+// operator completion.
+type ClassLatency struct {
+	// Class labels the generating clause, e.g. "0:poisson".
+	Class string
+	// Injected and Retired count this class's delivered and completed
+	// arrivals.
+	Injected, Retired int64
+	// WaitP50, WaitP95, and WaitP99 are exact nearest-rank queue-wait
+	// percentiles.
+	WaitP50, WaitP95, WaitP99 int64
+	// SojournP50, SojournP95, and SojournP99 are exact nearest-rank
+	// sojourn percentiles.
+	SojournP50, SojournP95, SojournP99 int64
 }
 
 // SplitBudget divides the host-thread budget between run-level
@@ -366,6 +415,13 @@ func (c Config) toOptions() (harness.Options, error) {
 			return o, fmt.Errorf("minnow: Faults: invalid plan: %w", err)
 		}
 		o.Faults = plan
+	}
+	if c.Arrivals != "" {
+		plan, err := arrival.ParsePlan(c.Arrivals)
+		if err != nil {
+			return o, fmt.Errorf("minnow: Arrivals: invalid plan: %w", err)
+		}
+		o.Arrivals = plan
 	}
 	return o, nil
 }
@@ -448,6 +504,23 @@ func resultFrom(benchmark string, r *stats.Run) *Result {
 			EnginesOffline:   f.EnginesOffline,
 			TasksRescued:     f.Rescued,
 		}
+	}
+	if l := r.Latency; l != nil {
+		lr := &LatencyReport{Injected: l.Injected, Retired: l.Retired}
+		for _, c := range l.Classes {
+			lr.Classes = append(lr.Classes, ClassLatency{
+				Class:      c.Class,
+				Injected:   c.Injected,
+				Retired:    c.Retired,
+				WaitP50:    c.WaitP50,
+				WaitP95:    c.WaitP95,
+				WaitP99:    c.WaitP99,
+				SojournP50: c.SojournP50,
+				SojournP95: c.SojournP95,
+				SojournP99: c.SojournP99,
+			})
+		}
+		res.Latency = lr
 	}
 	return res
 }
@@ -596,6 +669,9 @@ var figureTables = map[string]func(harness.FigOptions) (*stats.Table, error){
 	"occupancy":     harness.FigOccupancy,
 	"mpki-interval": harness.FigIntervalMPKI,
 
+	// Open-loop latency: sojourn percentiles vs offered load.
+	"sojourn": harness.FigSojourn,
+
 	// Refined Fig. 5 through the top-down profiler.
 	"cpistack": harness.FigCPIStack,
 }
@@ -640,6 +716,7 @@ var figureFns = map[string]func(harness.FigOptions) (string, error){
 	"occupancy":     func(f harness.FigOptions) (string, error) { return tbl(harness.FigOccupancy(f)) },
 	"mpki-interval": func(f harness.FigOptions) (string, error) { return tbl(harness.FigIntervalMPKI(f)) },
 	"cpistack":      func(f harness.FigOptions) (string, error) { return tbl(harness.FigCPIStack(f)) },
+	"sojourn":       func(f harness.FigOptions) (string, error) { return tbl(harness.FigSojourn(f)) },
 }
 
 func tbl(t interface{ String() string }, err error) (string, error) {

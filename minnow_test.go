@@ -111,7 +111,7 @@ func TestLgIntervalOverride(t *testing.T) {
 
 func TestFiguresRegistry(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 21 {
+	if len(figs) != 22 {
 		t.Fatalf("figure registry has %d entries: %v", len(figs), figs)
 	}
 	if _, err := RenderFigure("nope", FigureOptions{}); err == nil {

@@ -1,10 +1,10 @@
 // Command doccheck fails when an exported identifier in the audited
 // packages lacks a doc comment. It guards the observability, statistics,
 // and service surfaces (internal/obs, internal/trace, internal/stats,
-// internal/prof, internal/inspect, internal/service and its cache,
-// journal, and tracing subpackages), whose doc comments carry the
-// determinism and observe-only contracts the rest of the simulator is
-// written against; the CI docs job runs it on every push.
+// internal/prof, internal/inspect, internal/arrival, internal/service
+// and its cache, journal, and tracing subpackages), whose doc comments
+// carry the determinism and observe-only contracts the rest of the
+// simulator is written against; the CI docs job runs it on every push.
 //
 // Usage:
 //
@@ -33,6 +33,7 @@ var defaultDirs = []string{
 	"internal/stats",
 	"internal/prof",
 	"internal/inspect",
+	"internal/arrival",
 	"internal/service",
 	"internal/service/cache",
 	"internal/service/journal",

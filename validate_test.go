@@ -16,6 +16,8 @@ func TestConfigValidate(t *testing.T) {
 		{"full minnow", Config{Threads: 8, Minnow: true, Prefetch: true, Credits: 32}, ""},
 		{"explicit minnow scheduler", Config{Minnow: true, Scheduler: "minnow"}, ""},
 		{"faults preset", Config{Faults: "transient", Invariants: true}, ""},
+		{"arrivals preset", Config{Arrivals: "steady"}, ""},
+		{"arrivals clauses", Config{Arrivals: "seed=3;poisson:gap=100,count=8"}, ""},
 		{"negative threads", Config{Threads: -1}, "Threads"},
 		{"too many threads", Config{Threads: 65}, "sharer-mask"},
 		{"negative scale", Config{Scale: -2}, "Scale"},
@@ -33,6 +35,7 @@ func TestConfigValidate(t *testing.T) {
 		{"unknown scheduler", Config{Scheduler: "random"}, "Scheduler: unknown"},
 		{"unknown hw prefetcher", Config{HWPrefetcher: "ghb"}, "HWPrefetcher: unknown"},
 		{"bad fault plan", Config{Faults: "warp-core:p=1"}, "Faults"},
+		{"bad arrival plan", Config{Arrivals: "warp:gap=1"}, "Arrivals"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -67,6 +70,8 @@ func TestValidateErrorForm(t *testing.T) {
 	}{
 		{"faults", Config{Faults: "warp-core:p=1"},
 			`minnow: Faults: invalid plan: fault: unknown clause "warp-core" (have engine-stall, engine-offline, noc-delay, dram-retry, spill-retry, credit-loss, seed)`},
+		{"arrivals", Config{Arrivals: "warp:gap=1"},
+			`minnow: Arrivals: invalid plan: arrival: unknown clause "warp" (have poisson, burst, periodic, trace, seed)`},
 		{"intra jobs", Config{IntraJobs: -2},
 			"minnow: IntraJobs: -2 is negative (0 selects the serial engine, n >= 1 the bound/weave engine with n workers)"},
 		{"epoch window negative", Config{EpochWindow: -1},
@@ -102,7 +107,7 @@ func TestValidateErrorForm(t *testing.T) {
 		{Serial: true, Threads: 4}, {Prefetch: true},
 		{Minnow: true, CustomPrefetch: func(Task, GraphView, func(...uint64)) {}},
 		{Minnow: true, Scheduler: "obim"}, {Scheduler: "random"},
-		{HWPrefetcher: "ghb"}, {Faults: "bogus-kind"},
+		{HWPrefetcher: "ghb"}, {Faults: "bogus-kind"}, {Arrivals: "bogus-kind"},
 		{IntraJobs: -1}, {EpochWindow: -1}, {EpochWindow: 5},
 		{OnSample: func(int64, string) {}},
 	}
